@@ -1,0 +1,206 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 2–17 of Das, Lu, Hsu: "Region Monitoring for Local Phase
+// Detection in Dynamic Optimization Systems", CGO 2006).
+//
+// Usage:
+//
+//	experiments -fig all                 # everything, full scale
+//	experiments -fig 17                  # one figure
+//	experiments -fig 3 -quick            # reduced scale (CI/laptop)
+//	experiments -fig 6 -csv              # CSV instead of aligned text
+//	experiments -fig 13 -scale 0.1       # custom scale
+//
+// Figure numbers follow the paper. Figures 1 and 12 are state-machine
+// specifications with no data; their behaviour is covered by the unit
+// tests of internal/gpd and internal/lpd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"regionmon/internal/experiments"
+	"regionmon/internal/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 2..17, 'panel' (extension E1) or 'all'")
+		quick  = flag.Bool("quick", false, "reduced-scale run with proportionally scaled periods")
+		scale  = flag.Float64("scale", 0, "override work scale (0 = per -quick/full default)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonF  = flag.Bool("json", false, "emit JSON instead of aligned text")
+		detail = flag.Bool("detail", false, "also print controller detail for figure 17")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.TestOptions()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	format := formatText
+	if *csv {
+		format = formatCSV
+	}
+	if *jsonF {
+		format = formatJSON
+	}
+	if err := run(opts, strings.ToLower(*fig), format, *detail); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// format selects the output encoding.
+type format int
+
+const (
+	formatText format = iota
+	formatCSV
+	formatJSON
+)
+
+func emit(tab *experiments.Table, f format) {
+	switch f {
+	case formatCSV:
+		fmt.Println("#", tab.Title)
+		fmt.Print(tab.CSV())
+	case formatJSON:
+		s, err := tab.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: json:", err)
+			return
+		}
+		fmt.Println(s)
+	default:
+		fmt.Println(tab.String())
+	}
+}
+
+func run(opts experiments.Options, fig string, f format, detail bool) error {
+	want := func(f string) bool { return fig == "all" || fig == f }
+	start := time.Now()
+
+	// Region charts.
+	if want("2") {
+		tab, err := experiments.Fig2(opts)
+		if err != nil {
+			return err
+		}
+		emit(tab, f)
+	}
+
+	// The big sweep serves figures 3, 4, 6, 7, 13 and 14.
+	needSweep := false
+	for _, f := range []string{"3", "4", "6", "7", "13", "14"} {
+		if want(f) {
+			needSweep = true
+		}
+	}
+	if needSweep {
+		names := workload.Names()
+		if fig == "13" || fig == "14" {
+			names = experiments.Fig13Names()
+		}
+		sweep, err := experiments.RunSweep(opts, names)
+		if err != nil {
+			return err
+		}
+		fig3 := sweep.Filter(workload.Fig3Names()...)
+		fig13 := sweep.Filter(experiments.Fig13Names()...)
+		if want("3") {
+			emit(fig3.Fig3Table(), f)
+		}
+		if want("4") {
+			emit(fig3.Fig4Table(), f)
+		}
+		if want("6") {
+			emit(sweep.Fig6Table(), f)
+		}
+		if want("7") {
+			emit(sweep.Fig7Table(), f)
+		}
+		if want("13") {
+			emit(fig13.Fig13Table(), f)
+		}
+		if want("14") {
+			emit(fig13.Fig14Table(), f)
+		}
+	}
+
+	if want("5") {
+		tab, err := experiments.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		emit(tab, f)
+	}
+	if want("8") {
+		emit(experiments.Fig8(), f)
+	}
+	if want("9") || want("10") {
+		tab9, chart, err := experiments.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		if want("9") {
+			emit(tab9, f)
+		}
+		if want("10") {
+			tab10, err := experiments.Fig10(opts, chart)
+			if err != nil {
+				return err
+			}
+			emit(tab10, f)
+		}
+	}
+	if want("11") {
+		tab, err := experiments.Fig11(opts)
+		if err != nil {
+			return err
+		}
+		emit(tab, f)
+	}
+	if want("15") {
+		cost, err := experiments.RunCost(opts, workload.Names())
+		if err != nil {
+			return err
+		}
+		emit(cost.Table(), f)
+	}
+	if want("16") {
+		tree, err := experiments.RunTreeComparison(opts, workload.Names())
+		if err != nil {
+			return err
+		}
+		emit(tree.Table(), f)
+	}
+	if want("panel") || fig == "all" {
+		panel, err := experiments.RunDetectorPanel(opts,
+			[]string{"181.mcf", "187.facerec", "254.gap", "188.ammp", "172.mgrid"})
+		if err != nil {
+			return err
+		}
+		emit(panel.Table(), f)
+	}
+	if want("17") {
+		sp, err := experiments.RunSpeedup(opts, experiments.Fig17Names())
+		if err != nil {
+			return err
+		}
+		emit(sp.Table(), f)
+		if detail {
+			emit(sp.DetailTable(), f)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "done in %s (scale %g, buffer %d)\n",
+		time.Since(start).Round(time.Millisecond), opts.Scale, opts.BufferSize)
+	return nil
+}

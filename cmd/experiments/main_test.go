@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"regionmon/internal/experiments"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out strings.Builder
+		for {
+			n, err := r.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- out.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	return out
+}
+
+func TestRunFig8TextAndCSV(t *testing.T) {
+	opts := experiments.TestOptions()
+	text := captureStdout(t, func() error { return run(opts, "8", formatText, false) })
+	if !strings.Contains(text, "Figure 8") || !strings.Contains(text, "shift bottleneck") {
+		t.Errorf("fig 8 text output malformed:\n%s", text)
+	}
+	csv := captureStdout(t, func() error { return run(opts, "8", formatCSV, false) })
+	if !strings.Contains(csv, "comparison,r,paper r") {
+		t.Errorf("fig 8 CSV output malformed:\n%s", csv)
+	}
+}
+
+func TestRunChartFigure(t *testing.T) {
+	opts := experiments.TestOptions()
+	out := captureStdout(t, func() error { return run(opts, "5", formatText, false) })
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "187.facerec") {
+		t.Errorf("fig 5 output malformed:\n%.400s", out)
+	}
+}
+
+func TestRunUnknownFigureIsNoop(t *testing.T) {
+	opts := experiments.TestOptions()
+	out := captureStdout(t, func() error { return run(opts, "99", formatText, false) })
+	if strings.Contains(out, "Figure") {
+		t.Errorf("unknown figure produced output:\n%s", out)
+	}
+}
+
+func TestRunFig8JSON(t *testing.T) {
+	opts := experiments.TestOptions()
+	out := captureStdout(t, func() error { return run(opts, "8", formatJSON, false) })
+	if !strings.Contains(out, `"title": "Figure 8`) || !strings.Contains(out, `"rows"`) {
+		t.Errorf("fig 8 JSON output malformed:\n%s", out)
+	}
+}

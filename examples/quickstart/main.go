@@ -1,0 +1,85 @@
+// Quickstart: build a tiny synthetic program, run it under sampling with
+// both phase detectors attached, and watch local phase detection react to
+// a bottleneck shift that global detection cannot see.
+//
+// The program has one hot loop. Halfway through the run the delinquent
+// load inside the loop moves by one instruction (the paper's Figure 8
+// scenario): the centroid of the PC samples barely moves, so the global
+// detector stays happily "stable" — but the per-instruction histogram
+// changes shape, Pearson r collapses, and the region's local detector
+// reports a phase change.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regionmon"
+)
+
+func main() {
+	// A program with a single hot loop of 24 instructions.
+	b := regionmon.NewProgramBuilder(0x10000)
+	p := b.Proc("kernel")
+	p.Code(8, regionmon.KindALU)
+	loop := p.Loop(24, []regionmon.Kind{
+		regionmon.KindLoad, regionmon.KindALU, regionmon.KindALU, regionmon.KindALU,
+	}, nil)
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two segments with identical region weights — only the bottleneck
+	// (the instruction that stalls on cache misses) moves from
+	// instruction 4 to instruction 5.
+	mkSegment := func(hotspot int) regionmon.Segment {
+		return regionmon.Segment{
+			BaseCycles:  2_000_000,
+			SlicePeriod: 20_000,
+			Regions: []regionmon.RegionBehavior{{
+				Start: loop.Start, End: loop.End, Weight: 1,
+				MissRate: 0.2, MissPenalty: 30,
+				HotspotIdx: hotspot, HotspotStall: 200,
+			}},
+		}
+	}
+	sched := &regionmon.Schedule{
+		Name:     "quickstart",
+		Segments: []regionmon.Segment{mkSegment(4), mkSegment(5)},
+	}
+
+	sys, err := regionmon.NewSystem(prog, sched, regionmon.SystemConfig{
+		Sampling: regionmon.SamplingConfig{Period: 1_000, BufferSize: 256, JitterFrac: 0.1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("interval  GPD state  |  region        samples   r       LPD state")
+	sys.Observe(func(rep regionmon.IntervalReport) {
+		for _, rv := range rep.Regions.Verdicts {
+			marker := ""
+			if rv.Verdict.PhaseChange {
+				marker = "  <-- local phase change"
+			}
+			fmt.Printf("%8d  %-9v  |  %-12s %8d   %+.3f  %-13v%s\n",
+				rep.Seq, rep.Global.State,
+				rv.Region.Name(), rv.Samples, rv.Verdict.R, rv.Verdict.State, marker)
+		}
+	})
+
+	stats := sys.Run()
+	fmt.Printf("\nrun: %d cycles, %d intervals, %d regions\n",
+		stats.Exec.Cycles, stats.Intervals, stats.Regions)
+	fmt.Printf("GPD: %d phase changes, %.0f%% of time stable\n",
+		stats.GlobalPhaseChanges, stats.GlobalStableFraction*100)
+	for _, r := range sys.RegionMonitor().Regions() {
+		fmt.Printf("LPD region %s: %d phase changes, %.0f%% of intervals stable\n",
+			r.Name(), r.Detector.PhaseChanges(), r.Detector.StableFraction()*100)
+	}
+	fmt.Println("\nThe bottleneck shift is invisible to the centroid (GPD reports no")
+	fmt.Println("change) but local detection catches it — the paper's core point.")
+}

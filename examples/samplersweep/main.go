@@ -1,0 +1,85 @@
+// Samplersweep: the paper's Section 2.3 / 3.2.2 sensitivity experiment on
+// one benchmark — how does each detector respond as the sampling period
+// changes?
+//
+// Global (centroid) detection is highly sensitive: at short periods the
+// periodic region switching of 187.facerec lands on different intervals
+// every time and the detector keeps firing phase changes; at long periods
+// the switching averages out inside one interval and the detector calms
+// down. Local detection asks a different question — "did this region's
+// own bottleneck distribution change?" — and answers it the same way at
+// every period.
+//
+// Run with: go run ./examples/samplersweep [-bench 187.facerec]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"regionmon"
+)
+
+func main() {
+	bench := flag.String("bench", "187.facerec", "benchmark to sweep")
+	flag.Parse()
+
+	opts := regionmon.QuickExperimentOptions()
+	sweep, err := regionmon.RunSweep(opts, []string{*bench})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== sampling-period sensitivity for %s ===\n\n", *bench)
+	fmt.Printf("%-10s %10s %12s %14s %16s\n",
+		"period", "intervals", "GPD changes", "GPD stable %", "LPD changes(max)")
+	for _, p := range opts.Periods {
+		c := sweep.Cell(*bench, p)
+		if c == nil {
+			continue
+		}
+		maxLocal := 0
+		for _, r := range c.Regions {
+			if r.PhaseChanges > maxLocal {
+				maxLocal = r.PhaseChanges
+			}
+		}
+		fmt.Printf("%-10d %10d %12d %13.1f%% %16d\n",
+			p, c.Intervals, c.GPDChanges, c.GPDStableFrac*100, maxLocal)
+	}
+
+	fmt.Println("\nper-region detail (hottest first):")
+	fmt.Printf("%-16s", "region")
+	for _, p := range opts.Periods {
+		fmt.Printf("  %8s", fmt.Sprintf("@%d", p))
+	}
+	fmt.Println("   (local phase changes | stable %)")
+	base := sweep.Cell(*bench, opts.Periods[0])
+	n := len(base.Regions)
+	if n > 5 {
+		n = 5
+	}
+	for i := 0; i < n; i++ {
+		name := base.Regions[i].Name
+		fmt.Printf("%-16s", name)
+		for _, p := range opts.Periods {
+			cell := sweep.Cell(*bench, p)
+			printed := false
+			for _, r := range cell.Regions {
+				if r.Name == name {
+					fmt.Printf("  %3d|%3.0f%%", r.PhaseChanges, r.StableFrac*100)
+					printed = true
+					break
+				}
+			}
+			if !printed {
+				fmt.Printf("  %8s", "-")
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nGPD counts swing with the period; the per-region counts barely move —")
+	fmt.Println("\"local phase detection minimizes the dependency on sampling period\" (Sec. 3.2.2).")
+}

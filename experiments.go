@@ -1,0 +1,74 @@
+package regionmon
+
+import "regionmon/internal/experiments"
+
+// Experiment plumbing (internal/experiments): regenerate the paper's
+// figures programmatically. cmd/experiments is the command-line front end.
+type (
+	// ExperimentOptions parameterize all figure generators.
+	ExperimentOptions = experiments.Options
+	// ExperimentTable is a rendered figure (String and CSV methods).
+	ExperimentTable = experiments.Table
+	// SweepResult carries the Figures 3/4/6/7/13/14 sweep.
+	SweepResult = experiments.SweepResult
+	// ChartResult carries a region chart (Figures 2/5/9/10/11).
+	ChartResult = experiments.ChartResult
+	// CostResult carries the Figure 15 measurement.
+	CostResult = experiments.CostResult
+	// TreeResult carries the Figure 16 measurement.
+	TreeResult = experiments.TreeResult
+	// SpeedupResult carries the Figure 17 measurement.
+	SpeedupResult = experiments.SpeedupResult
+)
+
+// DefaultExperimentOptions returns full-scale experiment options (the
+// paper's sampling periods, 512-sample buffers, ~10G-cycle runs).
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickExperimentOptions returns reduced-scale options whose period/work
+// ratios match full scale; suitable for laptops and CI.
+func QuickExperimentOptions() ExperimentOptions { return experiments.TestOptions() }
+
+// RunSweep measures the Figures 3/4/6/7/13/14 data for the named
+// benchmarks.
+func RunSweep(opts ExperimentOptions, names []string) (*SweepResult, error) {
+	return experiments.RunSweep(opts, names)
+}
+
+// RunChart records a region chart for one benchmark.
+func RunChart(opts ExperimentOptions, name string) (*ChartResult, error) {
+	return experiments.RunChart(opts, name)
+}
+
+// RunCost measures Figure 15 (GPD vs LPD monitoring cost).
+func RunCost(opts ExperimentOptions, names []string) (*CostResult, error) {
+	return experiments.RunCost(opts, names)
+}
+
+// RunTreeComparison measures Figure 16 (interval tree vs list).
+func RunTreeComparison(opts ExperimentOptions, names []string) (*TreeResult, error) {
+	return experiments.RunTreeComparison(opts, names)
+}
+
+// RunSpeedup measures Figure 17 (RTO-LPD over RTO-ORIG).
+func RunSpeedup(opts ExperimentOptions, names []string) (*SpeedupResult, error) {
+	return experiments.RunSpeedup(opts, names)
+}
+
+// Fig8Table renders the Figure 8 Pearson demonstration.
+func Fig8Table() *ExperimentTable { return experiments.Fig8() }
+
+// Fig13BenchmarkNames returns the paper's Figure 13/14 benchmark subset.
+func Fig13BenchmarkNames() []string { return experiments.Fig13Names() }
+
+// Fig17BenchmarkNames returns the paper's Figure 17 benchmark subset.
+func Fig17BenchmarkNames() []string { return experiments.Fig17Names() }
+
+// PanelResult carries the Extension E1 detector comparison (centroid GPD
+// vs basic-block vectors vs working-set signatures vs region monitoring).
+type PanelResult = experiments.PanelResult
+
+// RunDetectorPanel measures Extension E1 on the named benchmarks.
+func RunDetectorPanel(opts ExperimentOptions, names []string) (*PanelResult, error) {
+	return experiments.RunDetectorPanel(opts, names)
+}

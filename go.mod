@@ -1,0 +1,3 @@
+module regionmon
+
+go 1.22

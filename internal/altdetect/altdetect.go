@@ -1,0 +1,247 @@
+// Package altdetect implements the two global phase-detection schemes the
+// paper's related-work section compares against (Section 4), adapted to
+// the same PC-sample streams the centroid detector consumes:
+//
+//   - BBV: Sherwood et al.'s basic-block vector approach [4][5] — each
+//     interval is summarized by a vector of per-basic-block execution
+//     weight (approximated here by sample counts, since sampling is the
+//     only profile source in this system); consecutive intervals are
+//     compared by normalized Manhattan distance.
+//
+//   - Working set: Dhodapkar and Smith's approach [1][8] — each interval
+//     is summarized by the *set* of basic blocks touched (no frequency
+//     information); consecutive intervals are compared by relative
+//     working-set distance (1 − |A∩B| / |A∪B|).
+//
+// The paper's point in contrasting them: these are still *global* schemes
+// — one verdict per interval for the whole program — so, like the
+// centroid, they conflate "the mix of regions changed" with "a region's
+// behaviour changed". Having them implemented lets the experiments
+// quantify that argument on identical sample streams (the DetectorPanel
+// experiment and BenchmarkAblationDetectorPanel).
+package altdetect
+
+import (
+	"fmt"
+	"math"
+
+	"regionmon/internal/hpm"
+	"regionmon/internal/isa"
+)
+
+// Verdict is one interval's outcome for either detector.
+type Verdict struct {
+	// Similarity is in [0, 1]: 1 = identical to the previous interval.
+	Similarity float64
+	// Changed reports similarity below the detector's threshold — a
+	// phase change.
+	Changed bool
+	// Blocks is the number of distinct basic blocks sampled this
+	// interval.
+	Blocks int
+}
+
+// blockIndexer maps sampled PCs to dense basic-block indices for one
+// program.
+type blockIndexer struct {
+	prog *isa.Program
+	idx  map[*isa.Block]int
+	n    int
+}
+
+func newBlockIndexer(prog *isa.Program) *blockIndexer {
+	bi := &blockIndexer{prog: prog, idx: make(map[*isa.Block]int)}
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			bi.idx[b] = bi.n
+			bi.n++
+		}
+	}
+	return bi
+}
+
+// lookup returns the dense index for pc, or -1 when pc is outside the
+// program text (e.g. idle samples at PC 0).
+func (bi *blockIndexer) lookup(pc isa.Addr) int {
+	b := bi.prog.BlockAt(pc)
+	if b == nil {
+		return -1
+	}
+	return bi.idx[b]
+}
+
+// BBV is the basic-block-vector phase detector.
+type BBV struct {
+	bi        *blockIndexer
+	threshold float64
+	prev      []float64
+	curr      []int64
+	hasPrev   bool
+
+	changes int
+	total   int
+}
+
+// NewBBV returns a BBV detector over prog. threshold is the minimum
+// interval-to-interval similarity counted as "same phase"; Sherwood-style
+// studies typically use a Manhattan-distance threshold around 0.3–0.5 on
+// normalized vectors, i.e. similarity ~0.75–0.85.
+func NewBBV(prog *isa.Program, threshold float64) (*BBV, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("altdetect: nil program")
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("altdetect: BBV threshold %v outside (0, 1)", threshold)
+	}
+	bi := newBlockIndexer(prog)
+	return &BBV{
+		bi:        bi,
+		threshold: threshold,
+		prev:      make([]float64, bi.n),
+		curr:      make([]int64, bi.n),
+	}, nil
+}
+
+// Observe processes one overflow delivery.
+func (d *BBV) Observe(ov *hpm.Overflow) Verdict {
+	for i := range d.curr {
+		d.curr[i] = 0
+	}
+	var total int64
+	blocks := 0
+	for i := range ov.Samples {
+		bi := d.bi.lookup(ov.Samples[i].PC)
+		if bi < 0 {
+			continue
+		}
+		if d.curr[bi] == 0 {
+			blocks++
+		}
+		d.curr[bi]++
+		total++
+	}
+	d.total++
+	v := Verdict{Blocks: blocks}
+	if total == 0 {
+		// Nothing sampled inside the program: repeat previous state
+		// without comparing.
+		v.Similarity = 1
+		return v
+	}
+	// Normalize and compare by Manhattan distance.
+	if d.hasPrev {
+		var dist float64
+		for i, c := range d.curr {
+			dist += math.Abs(float64(c)/float64(total) - d.prev[i])
+		}
+		v.Similarity = 1 - dist/2
+		if v.Similarity < d.threshold {
+			v.Changed = true
+			d.changes++
+		}
+	} else {
+		v.Similarity = 1
+	}
+	for i, c := range d.curr {
+		d.prev[i] = float64(c) / float64(total)
+	}
+	d.hasPrev = true
+	return v
+}
+
+// Changes returns the number of flagged phase changes.
+func (d *BBV) Changes() int { return d.changes }
+
+// Intervals returns the number of observed intervals.
+func (d *BBV) Intervals() int { return d.total }
+
+// StableFraction returns the fraction of intervals not flagged.
+func (d *BBV) StableFraction() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return 1 - float64(d.changes)/float64(d.total)
+}
+
+// WorkingSet is the Dhodapkar-style working-set signature detector: only
+// *which* blocks executed matters, not how often — the difference from
+// BBV the paper's Section 4 highlights.
+type WorkingSet struct {
+	bi        *blockIndexer
+	threshold float64
+	prev      map[int]struct{}
+	curr      map[int]struct{}
+
+	changes int
+	total   int
+}
+
+// NewWorkingSet returns a working-set detector. threshold is the maximum
+// relative working-set distance (1 − Jaccard similarity) counted as "same
+// phase"; Dhodapkar and Smith use values around 0.5.
+func NewWorkingSet(prog *isa.Program, threshold float64) (*WorkingSet, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("altdetect: nil program")
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("altdetect: working-set threshold %v outside (0, 1)", threshold)
+	}
+	return &WorkingSet{
+		bi:        newBlockIndexer(prog),
+		threshold: threshold,
+		prev:      make(map[int]struct{}),
+		curr:      make(map[int]struct{}),
+	}, nil
+}
+
+// Observe processes one overflow delivery.
+func (d *WorkingSet) Observe(ov *hpm.Overflow) Verdict {
+	clear(d.curr)
+	for i := range ov.Samples {
+		if bi := d.bi.lookup(ov.Samples[i].PC); bi >= 0 {
+			d.curr[bi] = struct{}{}
+		}
+	}
+	d.total++
+	v := Verdict{Blocks: len(d.curr)}
+	if len(d.curr) == 0 {
+		v.Similarity = 1
+		return v
+	}
+	if d.total > 1 {
+		inter := 0
+		for b := range d.curr {
+			if _, ok := d.prev[b]; ok {
+				inter++
+			}
+		}
+		union := len(d.prev) + len(d.curr) - inter
+		if union > 0 {
+			v.Similarity = float64(inter) / float64(union)
+		} else {
+			v.Similarity = 1
+		}
+		if 1-v.Similarity > d.threshold {
+			v.Changed = true
+			d.changes++
+		}
+	} else {
+		v.Similarity = 1
+	}
+	d.prev, d.curr = d.curr, d.prev
+	return v
+}
+
+// Changes returns the number of flagged phase changes.
+func (d *WorkingSet) Changes() int { return d.changes }
+
+// Intervals returns the number of observed intervals.
+func (d *WorkingSet) Intervals() int { return d.total }
+
+// StableFraction returns the fraction of intervals not flagged.
+func (d *WorkingSet) StableFraction() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return 1 - float64(d.changes)/float64(d.total)
+}

@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	good := DefaultOptions()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := []func(*Options){
+		func(o *Options) { o.Scale = 0 },
+		func(o *Options) { o.Periods = nil },
+		func(o *Options) { o.Periods = []uint64{0} },
+		func(o *Options) { o.RTOPeriods = nil },
+		func(o *Options) { o.BufferSize = 2 },
+		func(o *Options) { o.ChartPeriod = 0 },
+	}
+	for i, mut := range bad {
+		o := DefaultOptions()
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"a", "bee"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n1"},
+	}
+	s := tab.String()
+	for _, want := range []string{"T\n", "a", "bee", "333", "note: n1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bee\n") || !strings.Contains(csv, "333,4") {
+		t.Errorf("CSV() = %q", csv)
+	}
+	// Commas in cells are sanitized.
+	tab.Rows = [][]string{{"x,y", "z"}}
+	if strings.Contains(tab.CSV(), "x,y") {
+		t.Error("CSV did not sanitize embedded comma")
+	}
+}
+
+func TestPeriodLabel(t *testing.T) {
+	cases := map[uint64]string{
+		45_000:    "45K",
+		450_000:   "450K",
+		1_500_000: "1.5M",
+		450:       "450",
+	}
+	for p, want := range cases {
+		if got := periodLabel(p); got != want {
+			t.Errorf("periodLabel(%d) = %q; want %q", p, got, want)
+		}
+	}
+}
+
+// sweepNames is a small benchmark subset exercising every archetype.
+var sweepNames = []string{"181.mcf", "187.facerec", "254.gap", "186.crafty", "188.ammp", "172.mgrid"}
+
+func TestSweepAndDerivedTables(t *testing.T) {
+	opts := TestOptions()
+	sweep, err := RunSweep(opts, sweepNames)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if len(sweep.Cells) != len(sweepNames)*len(opts.Periods) {
+		t.Fatalf("cells = %d; want %d", len(sweep.Cells), len(sweepNames)*len(opts.Periods))
+	}
+	for _, c := range sweep.Cells {
+		if c.Intervals == 0 {
+			t.Errorf("%s @ %d: no intervals", c.Bench, c.Period)
+		}
+	}
+
+	// Shape assertions at reduced scale (ratios preserved by scaling):
+	// mcf has more GPD phase changes at the smallest period than at the
+	// largest.
+	mcfSmall := sweep.Cell("181.mcf", opts.Periods[0])
+	mcfLarge := sweep.Cell("181.mcf", opts.Periods[len(opts.Periods)-1])
+	if mcfSmall == nil || mcfLarge == nil {
+		t.Fatal("missing mcf cells")
+	}
+	if mcfSmall.GPDChanges < mcfLarge.GPDChanges {
+		t.Errorf("mcf GPD changes: %d @ small vs %d @ large; want small >= large",
+			mcfSmall.GPDChanges, mcfLarge.GPDChanges)
+	}
+	// facerec spends most time unstable at the smallest period.
+	fr := sweep.Cell("187.facerec", opts.Periods[0])
+	if fr.GPDStableFrac > 0.5 {
+		t.Errorf("facerec stable fraction = %.2f; want < 0.5", fr.GPDStableFrac)
+	}
+	// mgrid (steady FP code) is mostly stable at every period. The bound
+	// loosens at the largest period, where detector warm-up (history +
+	// timer) eats a fixed share of the few intervals.
+	for _, p := range opts.Periods {
+		if c := sweep.Cell("172.mgrid", p); c.GPDStableFrac < 0.4 {
+			t.Errorf("mgrid stable fraction @ %d = %.2f; want >= 0.4", p, c.GPDStableFrac)
+		}
+	}
+	// gap's UCR median exceeds the 30% threshold; mgrid's does not.
+	if c := sweep.Cell("254.gap", opts.Periods[1]); c.UCRMedian <= 0.30 {
+		t.Errorf("gap UCR median = %.2f; want > 0.30", c.UCRMedian)
+	}
+	if c := sweep.Cell("172.mgrid", opts.Periods[1]); c.UCRMedian > 0.30 {
+		t.Errorf("mgrid UCR median = %.2f; want <= 0.30", c.UCRMedian)
+	}
+	// mcf's regions are locally stable despite the global drift — the
+	// paper's Figure 10/14 claim.
+	for _, r := range mcfSmall.Regions[:minInt(3, len(mcfSmall.Regions))] {
+		if r.StableFrac < 0.8 {
+			t.Errorf("mcf region %s locally stable only %.2f of intervals; want >= 0.8", r.Name, r.StableFrac)
+		}
+	}
+
+	// All derived tables render with a row per benchmark / region.
+	for _, tab := range []*Table{
+		sweep.Fig3Table(), sweep.Fig4Table(), sweep.Fig6Table(), sweep.Fig7Table(),
+		sweep.Fig13Table(), sweep.Fig14Table(),
+	} {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", tab.Title)
+		}
+		if tab.String() == "" || tab.CSV() == "" {
+			t.Errorf("%s: empty rendering", tab.Title)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestChartsMCF(t *testing.T) {
+	opts := TestOptions()
+	tab, chart, err := Fig9(opts)
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if len(tab.Rows) == 0 || len(chart.Points) == 0 {
+		t.Fatal("empty mcf chart")
+	}
+	if len(chart.Regions) < 2 {
+		t.Fatalf("mcf formed %d regions; want >= 2", len(chart.Regions))
+	}
+	// Figure 10 property: the hottest regions stay highly correlated —
+	// median r near 1 despite global drift.
+	tab10, err := Fig10(opts, chart)
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	if len(tab10.Rows) == 0 {
+		t.Fatal("empty Fig10 table")
+	}
+	for _, rn := range chart.topRegions(2) {
+		var rs []float64
+		for _, pt := range chart.Points {
+			if r, ok := pt.R[rn]; ok {
+				rs = append(rs, r)
+			}
+		}
+		high := 0
+		for _, r := range rs {
+			if r >= 0.8 {
+				high++
+			}
+		}
+		if frac := float64(high) / float64(len(rs)); frac < 0.6 {
+			t.Errorf("mcf region %s: only %.0f%% of intervals with r >= 0.8", rn, frac*100)
+		}
+	}
+}
+
+func TestFig2AndFig5(t *testing.T) {
+	opts := TestOptions()
+	tab2, err := Fig2(opts)
+	if err != nil {
+		t.Fatalf("Fig2: %v", err)
+	}
+	tab5, err := Fig5(opts)
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	for _, tab := range []*Table{tab2, tab5} {
+		if len(tab.Rows) < 10 {
+			t.Errorf("%s: only %d rows", tab.Title, len(tab.Rows))
+		}
+	}
+	// facerec chart must show unstable intervals dominating.
+	unstable := 0
+	for _, row := range tab5.Rows {
+		if row[len(row)-1] == "UNSTABLE" {
+			unstable++
+		}
+	}
+	if unstable < len(tab5.Rows)/2 {
+		t.Errorf("facerec chart: %d/%d unstable rows; want majority", unstable, len(tab5.Rows))
+	}
+}
+
+func TestFig11GapRegions(t *testing.T) {
+	tab, err := Fig11(TestOptions())
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	if len(tab.Columns) < 3 {
+		t.Fatalf("Fig11 columns = %v; want interval + 2 regions", tab.Columns)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty Fig11 table")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	tab := Fig8()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("Fig8 rows = %d; want 2", len(tab.Rows))
+	}
+	// Row 0: shifted bottleneck → phase change; row 1: scaled → none.
+	if tab.Rows[0][3] != "YES" || tab.Rows[1][3] != "no" {
+		t.Errorf("Fig8 verdicts wrong: %v", tab.Rows)
+	}
+}
+
+func TestCostAndTreeComparison(t *testing.T) {
+	opts := TestOptions()
+	names := []string{"172.mgrid", "254.gap"}
+	cost, err := RunCost(opts, names)
+	if err != nil {
+		t.Fatalf("RunCost: %v", err)
+	}
+	if len(cost.Rows) != 2 {
+		t.Fatalf("cost rows = %d", len(cost.Rows))
+	}
+	for _, r := range cost.Rows {
+		if r.Factor < 1 {
+			t.Errorf("%s: LPD %.1fx GPD; want >= 1 (LPD is costlier)", r.Bench, r.Factor)
+		}
+		if r.GPDTime <= 0 || r.LPDTime <= 0 {
+			t.Errorf("%s: zero detector times", r.Bench)
+		}
+	}
+	if cost.Table().String() == "" {
+		t.Error("empty cost table")
+	}
+
+	tree, err := RunTreeComparison(opts, names)
+	if err != nil {
+		t.Fatalf("RunTreeComparison: %v", err)
+	}
+	for _, r := range tree.Rows {
+		if r.Regions == 0 || r.Samples == 0 {
+			t.Errorf("%s: empty comparison", r.Bench)
+		}
+		if r.Factor <= 0 {
+			t.Errorf("%s: factor %v", r.Bench, r.Factor)
+		}
+	}
+	if tree.Table().String() == "" {
+		t.Error("empty tree table")
+	}
+}
+
+func TestSpeedupMCF(t *testing.T) {
+	opts := TestOptions()
+	res, err := RunSpeedup(opts, []string{"181.mcf"})
+	if err != nil {
+		t.Fatalf("RunSpeedup: %v", err)
+	}
+	if len(res.Cells) != len(opts.RTOPeriods) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Paper shape: LPD wins on mcf, and the win grows with the period.
+	first := res.Cells[0].Speedup
+	last := res.Cells[len(res.Cells)-1].Speedup
+	if last <= 0 {
+		t.Errorf("mcf speedup at largest period = %.3f; want positive", last)
+	}
+	if last < first {
+		t.Errorf("mcf speedup should grow with period: %.3f -> %.3f", first, last)
+	}
+	if res.Table().String() == "" || res.DetailTable().String() == "" {
+		t.Error("empty speedup tables")
+	}
+}
+
+func TestDetectorPanel(t *testing.T) {
+	opts := TestOptions()
+	panel, err := RunDetectorPanel(opts, []string{"187.facerec", "172.mgrid"})
+	if err != nil {
+		t.Fatalf("RunDetectorPanel: %v", err)
+	}
+	if len(panel.Rows) != 2 {
+		t.Fatalf("rows = %d", len(panel.Rows))
+	}
+	byName := map[string]PanelRow{}
+	for _, r := range panel.Rows {
+		byName[r.Bench] = r
+	}
+	fr := byName["187.facerec"]
+	// All three global schemes see the alternation; region monitoring
+	// stays locally stable — the panel's whole point.
+	if fr.CentroidChanges == 0 || fr.BBVChanges == 0 || fr.WSChanges == 0 {
+		t.Errorf("facerec: global schemes missed the alternation: %+v", fr)
+	}
+	if fr.LPDStable < 0.8 {
+		t.Errorf("facerec: LPD weighted stable %.2f; want >= 0.8", fr.LPDStable)
+	}
+	if fr.LPDStable <= fr.BBVStable {
+		t.Errorf("facerec: LPD stable (%.2f) should beat BBV (%.2f)", fr.LPDStable, fr.BBVStable)
+	}
+	mg := byName["172.mgrid"]
+	// Steady workload: everyone is calm.
+	if mg.CentroidChanges != 0 || mg.BBVChanges != 0 || mg.WSChanges != 0 {
+		t.Errorf("mgrid: spurious changes: %+v", mg)
+	}
+	if panel.Table().String() == "" {
+		t.Error("empty panel table")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "x,y"}},
+		Notes:   []string{"n"},
+	}
+	s, err := tab.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	for _, want := range []string{`"title": "T"`, `"x,y"`, `"notes"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q:\n%s", want, s)
+		}
+	}
+}

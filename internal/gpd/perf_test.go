@@ -1,0 +1,121 @@
+package gpd
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfConfigValidation(t *testing.T) {
+	good := DefaultPerfConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default perf config invalid: %v", err)
+	}
+	if _, err := NewPerfTracker(PerfConfig{HistorySize: 1, ChangeFrac: 0.1}); err == nil {
+		t.Error("tiny history accepted")
+	}
+	if _, err := NewPerfTracker(PerfConfig{HistorySize: 8, ChangeFrac: 0}); err == nil {
+		t.Error("zero change fraction accepted")
+	}
+}
+
+func TestPerfTrackerSteadyMetric(t *testing.T) {
+	p, err := NewPerfTracker(DefaultPerfConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady CPI ≈ 1.5 with tiny wobble: no changes ever.
+	for i := 0; i < 50; i++ {
+		v := p.Observe(1.5 + 0.01*float64(i%3-1))
+		if v.Changed {
+			t.Fatalf("interval %d: steady metric flagged (delta %v)", i, v.Delta)
+		}
+	}
+	if p.Changes() != 0 {
+		t.Errorf("changes = %d; want 0", p.Changes())
+	}
+	if p.Intervals() != 50 {
+		t.Errorf("intervals = %d; want 50", p.Intervals())
+	}
+}
+
+func TestPerfTrackerDetectsCPIJump(t *testing.T) {
+	p, err := NewPerfTracker(DefaultPerfConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p.Observe(1.5)
+	}
+	// The data set outgrew the cache: CPI jumps 1.5 -> 2.4 (60%).
+	v := p.Observe(2.4)
+	if !v.Changed {
+		t.Fatalf("60%% CPI jump not flagged: %+v", v)
+	}
+	if p.Changes() != 1 {
+		t.Fatalf("changes = %d; want 1", p.Changes())
+	}
+	// The band re-forms around the new level; staying there is not a
+	// change.
+	for i := 0; i < 20; i++ {
+		if v := p.Observe(2.4); v.Changed {
+			t.Fatalf("re-formed band flagged steady value: %+v", v)
+		}
+	}
+	// Dropping back is a change again.
+	if v := p.Observe(1.5); !v.Changed {
+		t.Error("return to old level not flagged")
+	}
+}
+
+func TestPerfTrackerNoFlagDuringWarmup(t *testing.T) {
+	p, _ := NewPerfTracker(DefaultPerfConfig())
+	// Wild values during warm-up (history not full) must not flag.
+	vals := []float64{1, 10, 0.1, 5, 2, 8, 0.5}
+	for i, x := range vals {
+		if v := p.Observe(x); v.Changed {
+			t.Fatalf("warm-up observation %d flagged", i)
+		}
+	}
+}
+
+func TestPerfTrackerReset(t *testing.T) {
+	p, _ := NewPerfTracker(DefaultPerfConfig())
+	for i := 0; i < 20; i++ {
+		p.Observe(1.5)
+	}
+	p.Observe(3.0)
+	p.Reset()
+	if p.Changes() != 0 || p.Intervals() != 0 {
+		t.Error("Reset did not clear tracker")
+	}
+}
+
+// Property: a tracker fed values from a fixed narrow band never flags, and
+// the change counter equals the number of Changed verdicts.
+func TestPerfTrackerProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		p, err := NewPerfTracker(DefaultPerfConfig())
+		if err != nil {
+			return false
+		}
+		base := 0.5 + rng.Float64()*5
+		counted := 0
+		for i := 0; i < 200; i++ {
+			var x float64
+			if rng.IntN(10) == 0 {
+				x = base * (1.5 + rng.Float64()) // occasional excursion
+			} else {
+				x = base * (1 + 0.02*(rng.Float64()-0.5))
+			}
+			if p.Observe(x).Changed {
+				counted++
+			}
+		}
+		return counted == p.Changes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

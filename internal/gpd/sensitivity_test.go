@@ -1,0 +1,82 @@
+package gpd
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// noisyCentroidStream produces a deterministic centroid series with a
+// steady base, small per-interval wobble and occasional larger excursions
+// — the raw material of the Section 2.3 sensitivity claims.
+func noisyCentroidStream(seed uint64, n int) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 0xCE47))
+	out := make([]float64, n)
+	base := 200_000.0
+	for i := range out {
+		c := base * (1 + 0.01*(rng.Float64()-0.5))
+		if rng.IntN(12) == 0 {
+			c = base * (1 + 0.3*(rng.Float64()-0.5))
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestTH3MonotoneSensitivity pins the brittleness claim: loosening the
+// stability-exit threshold strictly reduces (or keeps) the number of
+// phase changes on the same centroid stream.
+func TestTH3MonotoneSensitivity(t *testing.T) {
+	stream := noisyCentroidStream(9, 600)
+	prev := -1
+	for _, th3 := range []float64{0.02, 0.05, 0.10, 0.20, 0.40} {
+		cfg := DefaultConfig()
+		cfg.TH2 = min(cfg.TH2, th3)
+		cfg.TH1 = min(cfg.TH1, cfg.TH2)
+		cfg.TH3 = th3
+		if cfg.TH4 < th3 {
+			cfg.TH4 = th3
+		}
+		d := MustNew(cfg)
+		for _, c := range stream {
+			d.Observe(c)
+		}
+		if prev >= 0 && d.PhaseChanges() > prev {
+			t.Errorf("TH3 %.2f: %d changes > %d at a tighter threshold", th3, d.PhaseChanges(), prev)
+		}
+		prev = d.PhaseChanges()
+	}
+	if prev != 0 {
+		// With TH3 at 40% the excursions (±15%) never leave the band.
+		t.Errorf("loosest threshold still saw %d changes", prev)
+	}
+}
+
+// TestHistorySizeSensitivity: longer centroid histories widen the band of
+// stability (more variance captured) and damp reactions, another axis of
+// the same brittleness.
+func TestHistorySizeSensitivity(t *testing.T) {
+	stream := noisyCentroidStream(11, 600)
+	changes := map[int]int{}
+	for _, hist := range []int{4, 8, 32} {
+		cfg := DefaultConfig()
+		cfg.HistorySize = hist
+		d := MustNew(cfg)
+		for _, c := range stream {
+			d.Observe(c)
+		}
+		changes[hist] = d.PhaseChanges()
+	}
+	// No strict monotonicity is guaranteed here (the timer interacts with
+	// warm-up), but the counts must differ across settings — the
+	// sensitivity the paper complains about.
+	if changes[4] == changes[8] && changes[8] == changes[32] {
+		t.Errorf("phase-change counts identical across history sizes: %v", changes)
+	}
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,310 @@
+package hpm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regionmon/internal/isa"
+)
+
+func mustNew(t *testing.T, cfg Config, cb func(*Overflow)) *Monitor {
+	t.Helper()
+	m, err := New(cfg, cb)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	cb := func(*Overflow) {}
+	if _, err := New(Config{Period: 0}, cb); err == nil {
+		t.Error("zero period should fail")
+	}
+	if _, err := New(Config{Period: 100, BufferSize: -1}, cb); err == nil {
+		t.Error("negative buffer should fail")
+	}
+	if _, err := New(Config{Period: 100}, nil); err == nil {
+		t.Error("nil callback should fail")
+	}
+	m, err := New(Config{Period: 100}, cb)
+	if err != nil {
+		t.Fatalf("valid config failed: %v", err)
+	}
+	if len(m.buf) != DefaultBufferSize {
+		t.Errorf("default buffer size = %d; want %d", len(m.buf), DefaultBufferSize)
+	}
+}
+
+func TestSamplingCadence(t *testing.T) {
+	var overflows []Overflow
+	m := mustNew(t, Config{Period: 10, BufferSize: 4}, func(ov *Overflow) {
+		cp := *ov
+		cp.Samples = append([]Sample(nil), ov.Samples...)
+		overflows = append(overflows, cp)
+	})
+	// 100 instructions, 1 cycle each: samples at cycles 10,20,...,100.
+	for i := 0; i < 100; i++ {
+		m.Retire(isa.Addr(0x1000+4*i), 1, 0)
+	}
+	if m.Cycle() != 100 {
+		t.Fatalf("cycle = %d; want 100", m.Cycle())
+	}
+	if m.TotalSamples() != 10 {
+		t.Fatalf("samples = %d; want 10", m.TotalSamples())
+	}
+	if len(overflows) != 2 { // 10 samples / 4 per buffer = 2 full deliveries
+		t.Fatalf("overflows = %d; want 2", len(overflows))
+	}
+	if overflows[0].Seq != 0 || overflows[1].Seq != 1 {
+		t.Error("overflow sequence numbers wrong")
+	}
+	first := overflows[0].Samples
+	if first[0].Cycle != 10 || first[3].Cycle != 40 {
+		t.Errorf("sample cycles = %d, %d; want 10, 40", first[0].Cycle, first[3].Cycle)
+	}
+	// The sample at cycle 10 interrupts the 10th instruction (index 9).
+	if first[0].PC != isa.Addr(0x1000+4*9) {
+		t.Errorf("sample PC = %v; want %v", first[0].PC, isa.Addr(0x1000+4*9))
+	}
+	// Each period retired 10 instructions.
+	if first[1].Instrs != 10 {
+		t.Errorf("instrs per sample = %d; want 10", first[1].Instrs)
+	}
+	if m.BufferFill() != 2 { // 10 - 8 delivered
+		t.Errorf("buffer fill = %d; want 2", m.BufferFill())
+	}
+}
+
+func TestLongStallAttribution(t *testing.T) {
+	var pcs []isa.Addr
+	m := mustNew(t, Config{Period: 10, BufferSize: 100}, func(*Overflow) {})
+	_ = m
+	m2 := mustNew(t, Config{Period: 10, BufferSize: 3}, func(ov *Overflow) {
+		for _, s := range ov.Samples {
+			pcs = append(pcs, s.PC)
+		}
+	})
+	// One instruction stalls 35 cycles: it must absorb 3 samples.
+	m2.Retire(0xAAAA, 35, 1)
+	m2.Flush()
+	if len(pcs) != 3 {
+		t.Fatalf("captured %d samples; want 3", len(pcs))
+	}
+	for _, pc := range pcs {
+		if pc != 0xAAAA {
+			t.Errorf("stall sample attributed to %v; want aaaa", pc)
+		}
+	}
+}
+
+func TestCounterDeltas(t *testing.T) {
+	var samples []Sample
+	m := mustNew(t, Config{Period: 100, BufferSize: 2}, func(ov *Overflow) {
+		samples = append(samples, ov.Samples...)
+	})
+	// 50 instructions of 2 cycles each with 1 miss every 5th: exactly one
+	// sample at cycle 100 carrying 50 instrs and 10 misses.
+	for i := 0; i < 50; i++ {
+		miss := uint64(0)
+		if i%5 == 0 {
+			miss = 1
+		}
+		m.Retire(0x100, 2, miss)
+	}
+	m.Flush()
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d; want 1", len(samples))
+	}
+	if samples[0].Instrs != 50 || samples[0].DCMisses != 10 {
+		t.Errorf("deltas = %d instrs, %d misses; want 50, 10", samples[0].Instrs, samples[0].DCMisses)
+	}
+}
+
+func TestIdleCapturesZeroPC(t *testing.T) {
+	var pcs []isa.Addr
+	m := mustNew(t, Config{Period: 10, BufferSize: 2}, func(ov *Overflow) {
+		for _, s := range ov.Samples {
+			pcs = append(pcs, s.PC)
+		}
+	})
+	m.Idle(25)
+	m.Flush()
+	if len(pcs) != 2 {
+		t.Fatalf("idle samples = %d; want 2", len(pcs))
+	}
+	for _, pc := range pcs {
+		if pc != 0 {
+			t.Errorf("idle sample PC = %v; want 0", pc)
+		}
+	}
+}
+
+func TestFlushBehaviour(t *testing.T) {
+	count := 0
+	m := mustNew(t, Config{Period: 10, BufferSize: 100}, func(ov *Overflow) {
+		count++
+		if len(ov.Samples) != 3 {
+			t.Errorf("flush delivered %d samples; want 3", len(ov.Samples))
+		}
+	})
+	if m.Flush() {
+		t.Error("empty flush should report false")
+	}
+	for i := 0; i < 30; i++ {
+		m.Retire(0x100, 1, 0)
+	}
+	if !m.Flush() {
+		t.Error("non-empty flush should report true")
+	}
+	if count != 1 {
+		t.Errorf("flush deliveries = %d; want 1", count)
+	}
+	if m.BufferFill() != 0 {
+		t.Error("flush did not clear buffer")
+	}
+}
+
+func TestSetPeriod(t *testing.T) {
+	m := mustNew(t, Config{Period: 10, BufferSize: 8}, func(*Overflow) {})
+	if err := m.SetPeriod(0); err == nil {
+		t.Error("SetPeriod(0) should fail")
+	}
+	if err := m.SetPeriod(1000); err != nil {
+		t.Fatalf("SetPeriod: %v", err)
+	}
+	if m.Period() != 1000 {
+		t.Errorf("Period = %d", m.Period())
+	}
+	// Pending interrupt still fires at the old boundary (cycle 10), the
+	// one after at 1010.
+	m.Retire(0x1, 12, 0)
+	if m.TotalSamples() != 1 {
+		t.Fatalf("samples after pending boundary = %d; want 1", m.TotalSamples())
+	}
+	m.Retire(0x2, 1000, 0)
+	if m.TotalSamples() != 2 {
+		t.Errorf("samples after reprogram = %d; want 2", m.TotalSamples())
+	}
+}
+
+func TestJitterValidationAndBounds(t *testing.T) {
+	cb := func(*Overflow) {}
+	if _, err := New(Config{Period: 100, JitterFrac: -0.1}, cb); err == nil {
+		t.Error("negative jitter should fail")
+	}
+	if _, err := New(Config{Period: 100, JitterFrac: 1}, cb); err == nil {
+		t.Error("jitter >= 1 should fail")
+	}
+	// With jitter, inter-sample gaps vary but stay within the band and
+	// the run remains deterministic.
+	gaps := func() []uint64 {
+		var cycles []uint64
+		m, err := New(Config{Period: 1000, BufferSize: 64, JitterFrac: 0.1}, func(ov *Overflow) {
+			for _, s := range ov.Samples {
+				cycles = append(cycles, s.Cycle)
+			}
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		for i := 0; i < 200_000; i++ {
+			m.Retire(0x100, 1, 0)
+		}
+		m.Flush()
+		return cycles
+	}
+	g1, g2 := gaps(), gaps()
+	if len(g1) < 100 || len(g1) != len(g2) {
+		t.Fatalf("sample counts: %d vs %d", len(g1), len(g2))
+	}
+	varied := false
+	for i := 1; i < len(g1); i++ {
+		if g1[i] != g2[i] {
+			t.Fatal("jittered sampling not deterministic")
+		}
+		gap := g1[i] - g1[i-1]
+		if gap < 900 || gap > 1100 {
+			t.Fatalf("gap %d outside jitter band [900, 1100]", gap)
+		}
+		if gap != 1000 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter produced no variation")
+	}
+}
+
+func TestZeroCycleRetireCountsAsOne(t *testing.T) {
+	m := mustNew(t, Config{Period: 5, BufferSize: 8}, func(*Overflow) {})
+	for i := 0; i < 10; i++ {
+		m.Retire(0x1, 0, 0)
+	}
+	if m.Cycle() != 10 {
+		t.Errorf("cycle = %d; want 10 (zero-cost retires clamp to 1)", m.Cycle())
+	}
+}
+
+func TestCPIAndDPI(t *testing.T) {
+	ov := &Overflow{Samples: []Sample{
+		{PC: 1, Cycle: 100, Instrs: 50, DCMisses: 5},
+		{PC: 2, Cycle: 200, Instrs: 25, DCMisses: 0},
+	}}
+	cpi := CPI(ov)
+	if cpi <= 0 {
+		t.Errorf("CPI = %v; want positive", cpi)
+	}
+	dpi := DPI(ov)
+	if want := 5.0 / 75.0; dpi != want {
+		t.Errorf("DPI = %v; want %v", dpi, want)
+	}
+	empty := &Overflow{}
+	if CPI(empty) != 0 || DPI(empty) != 0 {
+		t.Error("empty overflow CPI/DPI should be 0")
+	}
+	pcs := PCs(ov, nil)
+	if len(pcs) != 2 || pcs[0] != 1 || pcs[1] != 2 {
+		t.Errorf("PCs = %v", pcs)
+	}
+}
+
+// Property: the number of samples equals floor(totalCycles / period)
+// regardless of how the cycles are split across instructions.
+func TestSampleCountProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		costs := splitmix(seed, 200, 40)
+		period := uint64(37)
+		var total uint64
+		m, err := New(Config{Period: period, BufferSize: 16}, func(*Overflow) {})
+		if err != nil {
+			return false
+		}
+		for _, c := range costs {
+			m.Retire(0x100, c, 0)
+			if c == 0 {
+				c = 1
+			}
+			total += c
+		}
+		return m.TotalSamples() == total/period && m.Cycle() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// splitmix generates n deterministic pseudo-random cycle costs in [0, max).
+func splitmix(seed uint64, n int, max uint64) []uint64 {
+	out := make([]uint64, n)
+	x := seed
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = z % max
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package interval
+
+// Tree is an interval tree: a red-black tree keyed by (Start, End, ID) in
+// which every node is augmented with the maximum End in its subtree
+// (CLRS chapter 14, the structure the paper's Section 3.2.3 cites via
+// reference [18]). Stabbing queries cost O(log n + k); insert and remove
+// cost O(log n).
+type Tree struct {
+	root *node
+	nil_ *node // sentinel leaf
+	byID map[int]*node
+}
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node struct {
+	id         int
+	start, end uint64
+	max        uint64 // maximum end in this subtree
+	c          color
+	left       *node
+	right      *node
+	parent     *node
+}
+
+// NewTree returns an empty Tree.
+func NewTree() *Tree {
+	s := &node{c: black}
+	s.left, s.right, s.parent = s, s, s
+	return &Tree{root: s, nil_: s, byID: make(map[int]*node)}
+}
+
+// Len implements Index.
+func (t *Tree) Len() int { return len(t.byID) }
+
+// less orders nodes by (start, end, id), giving the tree a deterministic
+// shape independent of insertion order ties.
+func less(a, b *node) bool {
+	if a.start != b.start {
+		return a.start < b.start
+	}
+	if a.end != b.end {
+		return a.end < b.end
+	}
+	return a.id < b.id
+}
+
+// Insert implements Index.
+func (t *Tree) Insert(id int, start, end uint64) bool {
+	if start >= end {
+		return false
+	}
+	if _, dup := t.byID[id]; dup {
+		return false
+	}
+	z := &node{id: id, start: start, end: end, max: end, left: t.nil_, right: t.nil_, parent: t.nil_}
+	t.byID[id] = z
+
+	// Ordinary BST insert, updating max on the way down.
+	y := t.nil_
+	x := t.root
+	for x != t.nil_ {
+		y = x
+		if z.end > x.max {
+			x.max = z.end
+		}
+		if less(z, x) {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	z.parent = y
+	switch {
+	case y == t.nil_:
+		t.root = z
+	case less(z, y):
+		y.left = z
+	default:
+		y.right = z
+	}
+	z.c = red
+	t.insertFixup(z)
+	return true
+}
+
+func (t *Tree) insertFixup(z *node) {
+	for z.parent.c == red {
+		if z.parent == z.parent.parent.left {
+			u := z.parent.parent.right
+			if u.c == red {
+				z.parent.c = black
+				u.c = black
+				z.parent.parent.c = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.c = black
+				z.parent.parent.c = red
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			u := z.parent.parent.left
+			if u.c == red {
+				z.parent.c = black
+				u.c = black
+				z.parent.parent.c = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.c = black
+				z.parent.parent.c = red
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	t.root.c = black
+}
+
+// fixMax recomputes n.max from its interval and children.
+func (t *Tree) fixMax(n *node) {
+	if n == t.nil_ {
+		return
+	}
+	m := n.end
+	if n.left != t.nil_ && n.left.max > m {
+		m = n.left.max
+	}
+	if n.right != t.nil_ && n.right.max > m {
+		m = n.right.max
+	}
+	n.max = m
+}
+
+// fixMaxUpward recomputes max from n to the root.
+func (t *Tree) fixMaxUpward(n *node) {
+	for n != t.nil_ {
+		t.fixMax(n)
+		n = n.parent
+	}
+}
+
+func (t *Tree) rotateLeft(x *node) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	t.fixMax(x)
+	t.fixMax(y)
+}
+
+func (t *Tree) rotateRight(x *node) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	t.fixMax(x)
+	t.fixMax(y)
+}
+
+func (t *Tree) transplant(u, v *node) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree) minimum(x *node) *node {
+	for x.left != t.nil_ {
+		x = x.left
+	}
+	return x
+}
+
+// Remove implements Index.
+func (t *Tree) Remove(id int) bool {
+	z, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	delete(t.byID, id)
+
+	y := z
+	yOrigColor := y.c
+	var x *node
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+		t.fixMaxUpward(x.parent)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+		t.fixMaxUpward(x.parent)
+	default:
+		y = t.minimum(z.right)
+		yOrigColor = y.c
+		x = y.right
+		var maxFrom *node
+		if y.parent == z {
+			x.parent = y // needed by deleteFixup even when x is the sentinel
+			maxFrom = y
+		} else {
+			maxFrom = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.c = z.c
+		t.fixMaxUpward(maxFrom)
+	}
+	if yOrigColor == black {
+		t.deleteFixup(x)
+	}
+	// The sentinel's parent may have been scribbled on; restore invariants.
+	t.nil_.parent = t.nil_
+	t.nil_.max = 0
+	return true
+}
+
+func (t *Tree) deleteFixup(x *node) {
+	for x != t.root && x.c == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.c == red {
+				w.c = black
+				x.parent.c = red
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if w.left.c == black && w.right.c == black {
+				w.c = red
+				x = x.parent
+			} else {
+				if w.right.c == black {
+					w.left.c = black
+					w.c = red
+					t.rotateRight(w)
+					w = x.parent.right
+				}
+				w.c = x.parent.c
+				x.parent.c = black
+				w.right.c = black
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.c == red {
+				w.c = black
+				x.parent.c = red
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if w.right.c == black && w.left.c == black {
+				w.c = red
+				x = x.parent
+			} else {
+				if w.left.c == black {
+					w.right.c = black
+					w.c = red
+					t.rotateLeft(w)
+					w = x.parent.left
+				}
+				w.c = x.parent.c
+				x.parent.c = black
+				w.left.c = black
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.c = black
+}
+
+// Stab implements Index. The walk prunes subtrees whose max end is at or
+// below the point (nothing there can contain it) and right subtrees whose
+// start keys already exceed the point.
+func (t *Tree) Stab(point uint64, visit func(id int)) {
+	t.stab(t.root, point, visit)
+}
+
+func (t *Tree) stab(n *node, point uint64, visit func(id int)) {
+	if n == t.nil_ || n.max <= point {
+		return
+	}
+	t.stab(n.left, point, visit)
+	if n.start <= point {
+		if point < n.end {
+			visit(n.id)
+		}
+		t.stab(n.right, point, visit)
+	}
+}
+
+// checkInvariants validates red-black and max-augmentation invariants,
+// returning the black height. Used by tests; not called in production paths.
+func (t *Tree) checkInvariants() (blackHeight int, ok bool) {
+	if t.root.c != black {
+		return 0, false
+	}
+	return t.check(t.root)
+}
+
+func (t *Tree) check(n *node) (int, bool) {
+	if n == t.nil_ {
+		return 1, true
+	}
+	if n.c == red && (n.left.c == red || n.right.c == red) {
+		return 0, false
+	}
+	lh, lok := t.check(n.left)
+	rh, rok := t.check(n.right)
+	if !lok || !rok || lh != rh {
+		return 0, false
+	}
+	// BST order.
+	if n.left != t.nil_ && !less(n.left, n) {
+		return 0, false
+	}
+	if n.right != t.nil_ && less(n.right, n) {
+		return 0, false
+	}
+	// Max augmentation.
+	m := n.end
+	if n.left != t.nil_ && n.left.max > m {
+		m = n.left.max
+	}
+	if n.right != t.nil_ && n.right.max > m {
+		m = n.right.max
+	}
+	if n.max != m {
+		return 0, false
+	}
+	h := lh
+	if n.c == black {
+		h++
+	}
+	return h, true
+}

@@ -1,0 +1,304 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles synthetic programs. Typical use:
+//
+//	b := isa.NewBuilder(0x10000)
+//	p := b.Proc("main")
+//	p.Code(20, isa.KindALU)
+//	span := p.Loop(40, []isa.Kind{isa.KindLoad, isa.KindALU, isa.KindALU}, nil)
+//	prog, err := b.Build()
+//
+// Blocks are laid out contiguously in creation order, so loop bodies occupy
+// contiguous address ranges exactly like compiled loop nests, and the spans
+// reported by Loop match what dominator-based loop detection later finds.
+type Builder struct {
+	base Addr
+	next Addr
+	done []*Procedure
+	cur  *ProcBuilder
+	err  error
+}
+
+// ProcGap is the padding inserted between consecutive procedures.
+const ProcGap = 0x40
+
+// NewBuilder returns a Builder placing the first procedure at base.
+// base must be InstrBytes-aligned.
+func NewBuilder(base Addr) *Builder {
+	b := &Builder{base: base, next: base}
+	if base%InstrBytes != 0 {
+		b.err = fmt.Errorf("isa: builder base %v not %d-byte aligned", base, InstrBytes)
+	}
+	return b
+}
+
+// LoopSpan identifies a built loop's contiguous address range. Workload
+// models use spans to steer execution into specific loops; they carry no
+// pointers into the CFG so they are trivially copyable.
+type LoopSpan struct {
+	// Proc is the enclosing procedure name.
+	Proc string
+	// Start is the loop's first instruction address.
+	Start Addr
+	// End is one past the loop's last instruction address (latch included).
+	End Addr
+	// Depth is the static nesting depth at build time (1 = outermost).
+	Depth int
+}
+
+// Name renders the paper's region-name convention, e.g. "146f0-14770".
+func (s LoopSpan) Name() string { return fmt.Sprintf("%v-%v", s.Start, s.End) }
+
+// NumInstrs returns the span's instruction count.
+func (s LoopSpan) NumInstrs() int { return int(s.End-s.Start) / InstrBytes }
+
+// Contains reports whether addr falls inside the span.
+func (s LoopSpan) Contains(addr Addr) bool { return addr >= s.Start && addr < s.End }
+
+// ProcBuilder accumulates one procedure's blocks.
+type ProcBuilder struct {
+	b           *Builder
+	name        string
+	blocks      []*Block
+	cur         []Kind
+	curStart    Addr
+	pendingExit []BlockID
+	loopStack   []int // header block index (the next block at BeginLoop time)
+	spans       []LoopSpan
+	finished    bool
+}
+
+// Proc starts a new procedure, finalizing the previous one (its trailing
+// return block is emitted at that point). Procedures are laid out in
+// declaration order with a small gap between them.
+func (b *Builder) Proc(name string) *ProcBuilder {
+	b.finishCur()
+	if len(b.done) > 0 {
+		b.next += ProcGap
+		b.next -= b.next % InstrBytes
+	}
+	pb := &ProcBuilder{b: b, name: name, curStart: b.next}
+	b.cur = pb
+	return pb
+}
+
+// Skip advances the address cursor by at least bytes (rounded up to
+// instruction alignment) before the next procedure, creating a text-segment
+// gap. Call between procedures to spread them across the address space the
+// way large binaries are laid out — centroid-based detection is sensitive
+// to exactly this geometry. Skip fails the build if a procedure is open.
+func (b *Builder) Skip(bytes Addr) {
+	if b.cur != nil {
+		b.finishCur()
+	}
+	b.next += bytes
+	if rem := b.next % InstrBytes; rem != 0 {
+		b.next += InstrBytes - rem
+	}
+}
+
+// finishCur seals the in-progress procedure, if any.
+func (b *Builder) finishCur() {
+	if b.cur == nil {
+		return
+	}
+	if p := b.cur.finish(); p != nil {
+		b.done = append(b.done, p)
+	}
+	b.cur = nil
+}
+
+// active guards against interleaving construction of two procedures, which
+// would corrupt the shared address cursor.
+func (pb *ProcBuilder) active() bool {
+	if pb.b.cur != pb {
+		pb.fail("procedure built out of order (another Proc was started)")
+		return false
+	}
+	return true
+}
+
+// fail records the first construction error on the parent builder.
+func (pb *ProcBuilder) fail(format string, args ...any) {
+	if pb.b.err == nil {
+		pb.b.err = fmt.Errorf("isa: proc %q: %s", pb.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Code appends n instructions to the procedure's current straight-line run,
+// cycling through pattern (default ALU when pattern is empty).
+func (pb *ProcBuilder) Code(n int, pattern ...Kind) {
+	if !pb.active() {
+		return
+	}
+	if n <= 0 {
+		pb.fail("Code called with n=%d", n)
+		return
+	}
+	if len(pb.cur) == 0 {
+		pb.curStart = pb.b.next
+	}
+	for i := 0; i < n; i++ {
+		k := KindALU
+		if len(pattern) > 0 {
+			k = pattern[i%len(pattern)]
+		}
+		pb.cur = append(pb.cur, k)
+		pb.b.next += InstrBytes
+	}
+}
+
+// newBlock materializes a block with the given kinds at the current address
+// cursor position minus the instructions already accounted (kinds were
+// counted by Code) — callers pass either the accumulated cur slice or a
+// fresh synthesized block body whose addresses must still be allocated.
+func (pb *ProcBuilder) sealCur(fallthroughToNext bool) {
+	if len(pb.cur) == 0 {
+		return
+	}
+	blk := &Block{
+		ID:    BlockID(len(pb.blocks)),
+		Start: pb.curStart,
+		Kinds: pb.cur,
+	}
+	pb.cur = nil
+	pb.attachPending(blk)
+	pb.blocks = append(pb.blocks, blk)
+	if fallthroughToNext {
+		pb.pendingExit = append(pb.pendingExit, blk.ID)
+	}
+}
+
+// attachPending wires every block waiting for a "next block" edge to blk.
+func (pb *ProcBuilder) attachPending(blk *Block) {
+	for _, id := range pb.pendingExit {
+		pb.blocks[id].Succs = append(pb.blocks[id].Succs, blk.ID)
+	}
+	pb.pendingExit = pb.pendingExit[:0]
+}
+
+// synthBlock allocates a fresh block with the given kinds at the address
+// cursor (used for latches and the final return block).
+func (pb *ProcBuilder) synthBlock(kinds []Kind) *Block {
+	blk := &Block{
+		ID:    BlockID(len(pb.blocks)),
+		Start: pb.b.next,
+		Kinds: kinds,
+	}
+	pb.b.next += Addr(len(kinds) * InstrBytes)
+	pb.attachPending(blk)
+	pb.blocks = append(pb.blocks, blk)
+	return blk
+}
+
+// NewBlock seals the current straight-line run into its own basic block
+// (falling through to whatever comes next). Use it to split long straight
+// code into separate blocks, e.g. distinct UCR stretches.
+func (pb *ProcBuilder) NewBlock() {
+	if !pb.active() {
+		return
+	}
+	pb.sealCur(true)
+}
+
+// BeginLoop opens a loop: everything added until the matching EndLoop forms
+// the loop body. Loops nest.
+func (pb *ProcBuilder) BeginLoop() {
+	if !pb.active() {
+		return
+	}
+	pb.sealCur(true)
+	pb.loopStack = append(pb.loopStack, len(pb.blocks))
+}
+
+// EndLoop closes the innermost open loop, appending its latch block (the
+// back-edge branch), and returns the loop's span.
+func (pb *ProcBuilder) EndLoop() LoopSpan {
+	if !pb.active() {
+		return LoopSpan{}
+	}
+	if len(pb.loopStack) == 0 {
+		pb.fail("EndLoop without BeginLoop")
+		return LoopSpan{}
+	}
+	headerIdx := pb.loopStack[len(pb.loopStack)-1]
+	pb.loopStack = pb.loopStack[:len(pb.loopStack)-1]
+	pb.sealCur(true)
+	if headerIdx >= len(pb.blocks) {
+		pb.fail("empty loop body")
+		return LoopSpan{}
+	}
+	latch := pb.synthBlock([]Kind{KindALU, KindBranch})
+	latch.Succs = append(latch.Succs, BlockID(headerIdx)) // back edge
+	pb.pendingExit = append(pb.pendingExit, latch.ID)     // exit edge
+	span := LoopSpan{
+		Proc:  pb.name,
+		Start: pb.blocks[headerIdx].Start,
+		End:   latch.End(),
+		Depth: len(pb.loopStack) + 1,
+	}
+	pb.spans = append(pb.spans, span)
+	return span
+}
+
+// Loop is the common single-shot form: a loop whose body is n instructions
+// of pattern, with optional nested structure added by nested (which may add
+// code and further loops). Returns the loop's span.
+func (pb *ProcBuilder) Loop(n int, pattern []Kind, nested func()) LoopSpan {
+	pb.BeginLoop()
+	pb.Code(n, pattern...)
+	if nested != nil {
+		nested()
+	}
+	return pb.EndLoop()
+}
+
+// Call appends a call to target: the current block is sealed with a
+// trailing call instruction and falls through to the next block.
+func (pb *ProcBuilder) Call(target string) {
+	pb.Code(1, KindCall)
+	pb.sealCur(true)
+	pb.blocks[len(pb.blocks)-1].CallTarget = target
+}
+
+// Spans returns the loop spans recorded so far, outermost-first in
+// address order.
+func (pb *ProcBuilder) Spans() []LoopSpan {
+	out := make([]LoopSpan, len(pb.spans))
+	copy(out, pb.spans)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End > out[j].End
+	})
+	return out
+}
+
+// finish seals the procedure with a return block.
+func (pb *ProcBuilder) finish() *Procedure {
+	if pb.finished {
+		return nil
+	}
+	pb.finished = true
+	if len(pb.loopStack) > 0 {
+		pb.fail("%d unclosed loop(s)", len(pb.loopStack))
+	}
+	pb.sealCur(true)
+	pb.synthBlock([]Kind{KindRet})
+	return &Procedure{Name: pb.name, Blocks: pb.blocks}
+}
+
+// Build finalizes the last procedure, validates, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	b.finishCur()
+	if b.err != nil {
+		return nil, b.err
+	}
+	return NewProgram(b.done)
+}

@@ -1,0 +1,141 @@
+package isa
+
+// Dominator analysis over a procedure's CFG, using the iterative algorithm
+// of Cooper, Harvey and Kennedy ("A Simple, Fast Dominance Algorithm").
+// Region formation needs dominators only to identify back edges (t -> h
+// where h dominates t), from which natural loops — the paper's units of
+// optimization — are derived.
+
+// Dominators returns idom, the immediate-dominator array for the
+// procedure's blocks: idom[entry] == entry, and idom[b] == NoBlock for
+// blocks unreachable from the entry.
+func (p *Procedure) Dominators() []BlockID {
+	n := len(p.Blocks)
+	idom := make([]BlockID, n)
+	for i := range idom {
+		idom[i] = NoBlock
+	}
+	if n == 0 {
+		return idom
+	}
+
+	// Reverse postorder of the reachable subgraph.
+	rpo := p.reversePostorder()
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+
+	// Predecessor lists (reachable blocks only contribute).
+	preds := make([][]BlockID, n)
+	for _, b := range p.Blocks {
+		if rpoNum[b.ID] < 0 {
+			continue
+		}
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+
+	entry := BlockID(0)
+	idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			newIdom := NoBlock
+			for _, pblk := range preds[b] {
+				if idom[pblk] == NoBlock {
+					continue // predecessor not yet processed
+				}
+				if newIdom == NoBlock {
+					newIdom = pblk
+				} else {
+					newIdom = intersect(pblk, newIdom, idom, rpoNum)
+				}
+			}
+			if newIdom != NoBlock && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// intersect walks the two dominator-tree fingers up to their common
+// ancestor, ordering by reverse-postorder number.
+func intersect(b1, b2 BlockID, idom []BlockID, rpoNum []int) BlockID {
+	f1, f2 := b1, b2
+	for f1 != f2 {
+		for rpoNum[f1] > rpoNum[f2] {
+			f1 = idom[f1]
+		}
+		for rpoNum[f2] > rpoNum[f1] {
+			f2 = idom[f2]
+		}
+	}
+	return f1
+}
+
+// reversePostorder returns the procedure's reachable blocks in reverse
+// postorder from the entry block.
+func (p *Procedure) reversePostorder() []BlockID {
+	n := len(p.Blocks)
+	seen := make([]bool, n)
+	post := make([]BlockID, 0, n)
+
+	// Iterative DFS with an explicit stack carrying a successor cursor,
+	// so deep synthetic CFGs cannot overflow the goroutine stack.
+	type frame struct {
+		b   BlockID
+		cur int
+	}
+	stack := []frame{{b: 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := p.Blocks[f.b].Succs
+		if f.cur < len(succs) {
+			s := succs[f.cur]
+			f.cur++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	// Reverse.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominates reports whether block a dominates block b under idom
+// (every block dominates itself).
+func Dominates(idom []BlockID, a, b BlockID) bool {
+	if a == b {
+		return true
+	}
+	for b != NoBlock {
+		parent := idom[b]
+		if parent == b { // reached entry
+			return a == b
+		}
+		if parent == a {
+			return true
+		}
+		b = parent
+	}
+	return false
+}

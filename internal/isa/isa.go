@@ -1,0 +1,118 @@
+// Package isa defines the synthetic program model the reproduction runs
+// phase detection against: a flat address space of fixed-width instructions
+// grouped into basic blocks, procedures and whole programs, plus the control
+// flow analyses (dominators, natural loops) that region formation relies on.
+//
+// The original paper profiles native SPARC binaries; this package is the
+// substitute substrate. Its programs are synthetic but structurally honest:
+// they have real CFGs, and loop regions are *discovered* by dominator-based
+// natural-loop detection, exactly the class of region ("regions are
+// primarily loops") the paper's region builder produces. Instruction
+// addresses are 4-byte aligned, SPARC-style, so program-counter arithmetic
+// in the detectors behaves like it would on the original hardware.
+package isa
+
+import "fmt"
+
+// InstrBytes is the fixed instruction width in bytes (SPARC V9 style).
+const InstrBytes = 4
+
+// Addr is a virtual address in the simulated program's text segment.
+type Addr uint64
+
+// String renders the address in the hex form the paper uses for region
+// names (e.g. "146f0").
+func (a Addr) String() string { return fmt.Sprintf("%x", uint64(a)) }
+
+// Kind classifies an instruction for the cycle-cost and cache models.
+type Kind uint8
+
+const (
+	// KindALU is a single-cycle integer operation.
+	KindALU Kind = iota
+	// KindLoad reads data memory and may miss in the data cache; loads are
+	// where the simulated prefetching optimization recovers cycles.
+	KindLoad
+	// KindStore writes data memory.
+	KindStore
+	// KindFP is a multi-cycle floating point operation.
+	KindFP
+	// KindBranch is a conditional or unconditional control transfer inside
+	// a procedure.
+	KindBranch
+	// KindCall transfers control to another procedure.
+	KindCall
+	// KindRet returns from a procedure.
+	KindRet
+	// KindNop burns one cycle.
+	KindNop
+
+	numKinds = iota
+)
+
+var kindNames = [numKinds]string{
+	"alu", "load", "store", "fp", "branch", "call", "ret", "nop",
+}
+
+// String returns the lower-case mnemonic class name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined instruction kinds.
+func (k Kind) Valid() bool { return int(k) < numKinds }
+
+// Instruction is one fixed-width instruction slot.
+type Instruction struct {
+	// Addr is the instruction's virtual address.
+	Addr Addr
+	// Kind drives the cycle-cost model.
+	Kind Kind
+}
+
+// BlockID identifies a basic block within its procedure.
+type BlockID int
+
+// NoBlock is the absent-block sentinel.
+const NoBlock BlockID = -1
+
+// Block is a basic block: a straight-line run of instructions ended by (at
+// most) one control transfer. Succs lists intra-procedural successors;
+// calls fall through (the callee is modelled separately via CallTarget).
+type Block struct {
+	// ID is the block's index within its procedure.
+	ID BlockID
+	// Start is the address of the first instruction.
+	Start Addr
+	// Kinds holds one Kind per instruction, in address order.
+	Kinds []Kind
+	// Succs are the intra-procedural successor blocks, if any.
+	Succs []BlockID
+	// CallTarget names the callee procedure when the block ends in a
+	// KindCall, or is empty.
+	CallTarget string
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return len(b.Kinds) }
+
+// End returns the address one past the block's last instruction.
+func (b *Block) End() Addr { return b.Start + Addr(len(b.Kinds)*InstrBytes) }
+
+// Contains reports whether addr falls inside the block.
+func (b *Block) Contains(addr Addr) bool { return addr >= b.Start && addr < b.End() }
+
+// AddrOf returns the address of the i'th instruction in the block.
+func (b *Block) AddrOf(i int) Addr { return b.Start + Addr(i*InstrBytes) }
+
+// IndexOf returns the instruction index within the block for addr, or -1
+// if addr is outside the block or misaligned.
+func (b *Block) IndexOf(addr Addr) int {
+	if !b.Contains(addr) || (addr-b.Start)%InstrBytes != 0 {
+		return -1
+	}
+	return int((addr - b.Start) / InstrBytes)
+}

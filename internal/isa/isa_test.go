@@ -1,0 +1,404 @@
+package isa
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// buildSimple returns a program with one procedure containing a single loop
+// of 10 instructions, plus the loop's span.
+func buildSimple(t *testing.T) (*Program, LoopSpan) {
+	t.Helper()
+	b := NewBuilder(0x10000)
+	p := b.Proc("main")
+	p.Code(5, KindALU)
+	span := p.Loop(10, []Kind{KindLoad, KindALU}, nil)
+	p.Code(3, KindALU)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog, span
+}
+
+func TestBuilderSimpleLoop(t *testing.T) {
+	prog, span := buildSimple(t)
+	if got := len(prog.Procs); got != 1 {
+		t.Fatalf("procs = %d; want 1", got)
+	}
+	p := prog.Procs[0]
+	// Blocks: pre-loop, body, latch, post, ret.
+	if got := len(p.Blocks); got != 5 {
+		t.Fatalf("blocks = %d; want 5", got)
+	}
+	// 5 + 10 + 2 (latch) + 3 + 1 (ret) instructions.
+	if got := p.NumInstrs(); got != 21 {
+		t.Fatalf("instrs = %d; want 21", got)
+	}
+	if span.NumInstrs() != 12 { // body 10 + latch 2
+		t.Fatalf("span instrs = %d; want 12", span.NumInstrs())
+	}
+	if span.Depth != 1 {
+		t.Fatalf("span depth = %d; want 1", span.Depth)
+	}
+}
+
+func TestLoopDetectionMatchesBuiltSpan(t *testing.T) {
+	prog, span := buildSimple(t)
+	loops := prog.AllLoops()
+	if len(loops) != 1 {
+		t.Fatalf("detected %d loops; want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Start() != span.Start || l.End() != span.End {
+		t.Errorf("detected loop span %v-%v; built span %v-%v", l.Start(), l.End(), span.Start, span.End)
+	}
+	if l.Depth != 1 {
+		t.Errorf("depth = %d; want 1", l.Depth)
+	}
+	if l.Name() != span.Name() {
+		t.Errorf("names disagree: %q vs %q", l.Name(), span.Name())
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	b := NewBuilder(0x20000)
+	p := b.Proc("nest")
+	p.BeginLoop()
+	p.Code(6, KindALU)
+	inner := p.Loop(8, []Kind{KindLoad, KindALU, KindALU, KindALU}, nil)
+	p.Code(4, KindALU)
+	outer := p.EndLoop()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Fatalf("depths: inner %d outer %d; want 2, 1", inner.Depth, outer.Depth)
+	}
+	if !(outer.Start <= inner.Start && inner.End <= outer.End) {
+		t.Fatalf("outer %v-%v does not contain inner %v-%v", outer.Start, outer.End, inner.Start, inner.End)
+	}
+
+	loops := prog.AllLoops()
+	if len(loops) != 2 {
+		t.Fatalf("detected %d loops; want 2", len(loops))
+	}
+	var li, lo *Loop
+	for _, l := range loops {
+		switch l.Depth {
+		case 1:
+			lo = l
+		case 2:
+			li = l
+		}
+	}
+	if li == nil || lo == nil {
+		t.Fatalf("missing depth-1 or depth-2 loop: %+v", loops)
+	}
+	if li.Parent != lo {
+		t.Errorf("inner.Parent mismatch")
+	}
+	if li.Start() != inner.Start || li.End() != inner.End {
+		t.Errorf("inner detected %v-%v; built %v-%v", li.Start(), li.End(), inner.Start, inner.End)
+	}
+	if lo.Start() != outer.Start || lo.End() != outer.End {
+		t.Errorf("outer detected %v-%v; built %v-%v", lo.Start(), lo.End(), outer.Start, outer.End)
+	}
+
+	// Innermost lookup: an address in the inner body resolves to the inner
+	// loop; an address in the outer body (before the inner) to the outer.
+	proc := prog.Procs[0]
+	if got := proc.InnermostLoopAt(inner.Start); got != li {
+		t.Errorf("InnermostLoopAt(inner.Start) = %v; want inner", got)
+	}
+	if got := proc.InnermostLoopAt(outer.Start); got != lo {
+		t.Errorf("InnermostLoopAt(outer.Start) = %v; want outer", got)
+	}
+	if got := proc.InnermostLoopAt(outer.End); got != nil {
+		t.Errorf("InnermostLoopAt past end = %v; want nil", got)
+	}
+}
+
+func TestMultipleProcedures(t *testing.T) {
+	b := NewBuilder(0x10000)
+	m := b.Proc("main")
+	m.Code(4, KindALU)
+	m.Call("helper")
+	mainLoop := m.Loop(6, nil, nil)
+	h := b.Proc("helper")
+	helperLoop := h.Loop(12, []Kind{KindLoad, KindALU, KindALU}, nil)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(prog.Procs) != 2 {
+		t.Fatalf("procs = %d; want 2", len(prog.Procs))
+	}
+	if prog.Proc("helper") == nil || prog.Proc("main") == nil {
+		t.Fatal("Proc lookup by name failed")
+	}
+	if prog.Proc("nope") != nil {
+		t.Fatal("Proc lookup for unknown name should be nil")
+	}
+	// Address lookups route to the right procedure.
+	if p := prog.ProcAt(mainLoop.Start); p == nil || p.Name != "main" {
+		t.Errorf("ProcAt(main loop) = %v", p)
+	}
+	if p := prog.ProcAt(helperLoop.Start); p == nil || p.Name != "helper" {
+		t.Errorf("ProcAt(helper loop) = %v", p)
+	}
+	// Gap between procedures is not part of any procedure.
+	gapAddr := prog.Procs[0].End()
+	if prog.Procs[1].Start() > gapAddr {
+		if p := prog.ProcAt(gapAddr); p != nil {
+			t.Errorf("ProcAt(gap) = %v; want nil", p)
+		}
+	}
+	// Call target is recorded.
+	var foundCall bool
+	for _, blk := range prog.Proc("main").Blocks {
+		if blk.CallTarget == "helper" {
+			foundCall = true
+			if blk.Kinds[len(blk.Kinds)-1] != KindCall {
+				t.Error("call block does not end in a call instruction")
+			}
+		}
+	}
+	if !foundCall {
+		t.Error("call to helper not recorded")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("unclosed loop", func(t *testing.T) {
+		b := NewBuilder(0x1000)
+		p := b.Proc("x")
+		p.BeginLoop()
+		p.Code(3)
+		if _, err := b.Build(); err == nil {
+			t.Error("unclosed loop should fail Build")
+		}
+	})
+	t.Run("end without begin", func(t *testing.T) {
+		b := NewBuilder(0x1000)
+		p := b.Proc("x")
+		p.Code(3)
+		p.EndLoop()
+		if _, err := b.Build(); err == nil {
+			t.Error("EndLoop without BeginLoop should fail Build")
+		}
+	})
+	t.Run("empty loop", func(t *testing.T) {
+		b := NewBuilder(0x1000)
+		p := b.Proc("x")
+		p.BeginLoop()
+		p.EndLoop()
+		if _, err := b.Build(); err == nil {
+			t.Error("empty loop should fail Build")
+		}
+	})
+	t.Run("zero code", func(t *testing.T) {
+		b := NewBuilder(0x1000)
+		p := b.Proc("x")
+		p.Code(0)
+		if _, err := b.Build(); err == nil {
+			t.Error("Code(0) should fail Build")
+		}
+	})
+	t.Run("misaligned base", func(t *testing.T) {
+		b := NewBuilder(0x1001)
+		b.Proc("x").Code(1)
+		if _, err := b.Build(); err == nil {
+			t.Error("misaligned base should fail Build")
+		}
+	})
+	t.Run("unknown call target", func(t *testing.T) {
+		b := NewBuilder(0x1000)
+		p := b.Proc("x")
+		p.Call("ghost")
+		if _, err := b.Build(); err == nil {
+			t.Error("call to unknown procedure should fail Build")
+		}
+	})
+	t.Run("interleaved procs", func(t *testing.T) {
+		b := NewBuilder(0x1000)
+		p1 := b.Proc("a")
+		p1.Code(2)
+		b.Proc("b").Code(2)
+		p1.Code(2) // a is no longer current
+		if _, err := b.Build(); err == nil {
+			t.Error("interleaved procedure construction should fail Build")
+		}
+	})
+	t.Run("no procedures", func(t *testing.T) {
+		if _, err := NewBuilder(0x1000).Build(); err == nil {
+			t.Error("empty program should fail Build")
+		}
+	})
+}
+
+func TestKindAtAndLookups(t *testing.T) {
+	b := NewBuilder(0x10000)
+	p := b.Proc("main")
+	p.Code(2, KindALU, KindLoad)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	k, ok := prog.KindAt(0x10000)
+	if !ok || k != KindALU {
+		t.Errorf("KindAt(0x10000) = %v, %v; want alu, true", k, ok)
+	}
+	k, ok = prog.KindAt(0x10004)
+	if !ok || k != KindLoad {
+		t.Errorf("KindAt(0x10004) = %v, %v; want load, true", k, ok)
+	}
+	if _, ok := prog.KindAt(0x10002); ok {
+		t.Error("misaligned KindAt should fail")
+	}
+	if _, ok := prog.KindAt(0x9000); ok {
+		t.Error("out-of-text KindAt should fail")
+	}
+	if prog.Start() != 0x10000 {
+		t.Errorf("Start = %v", prog.Start())
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	blk := &Block{ID: 0, Start: 0x100, Kinds: []Kind{KindALU, KindLoad, KindBranch}}
+	if blk.Len() != 3 || blk.End() != 0x10c {
+		t.Fatalf("Len/End = %d/%v", blk.Len(), blk.End())
+	}
+	if !blk.Contains(0x104) || blk.Contains(0x10c) || blk.Contains(0xff) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if blk.AddrOf(2) != 0x108 {
+		t.Errorf("AddrOf(2) = %v", blk.AddrOf(2))
+	}
+	if blk.IndexOf(0x108) != 2 {
+		t.Errorf("IndexOf(0x108) = %d", blk.IndexOf(0x108))
+	}
+	if blk.IndexOf(0x106) != -1 || blk.IndexOf(0x200) != -1 {
+		t.Error("IndexOf should reject misaligned/outside addresses")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// Hand-built diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+	mk := func(id BlockID, start Addr, succs ...BlockID) *Block {
+		return &Block{ID: id, Start: start, Kinds: []Kind{KindALU, KindBranch}, Succs: succs}
+	}
+	p := &Procedure{Name: "d", Blocks: []*Block{
+		mk(0, 0x0, 1, 2),
+		mk(1, 0x8, 3),
+		mk(2, 0x10, 3),
+		mk(3, 0x18),
+	}}
+	idom := p.Dominators()
+	want := []BlockID{0, 0, 0, 0}
+	for i, w := range want {
+		if idom[i] != w {
+			t.Errorf("idom[%d] = %d; want %d", i, idom[i], w)
+		}
+	}
+	if !Dominates(idom, 0, 3) || Dominates(idom, 1, 3) || !Dominates(idom, 2, 2) {
+		t.Error("Dominates answers wrong on diamond")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	mk := func(id BlockID, start Addr, succs ...BlockID) *Block {
+		return &Block{ID: id, Start: start, Kinds: []Kind{KindALU}, Succs: succs}
+	}
+	p := &Procedure{Name: "u", Blocks: []*Block{
+		mk(0, 0x0, 1),
+		mk(1, 0x4),
+		mk(2, 0x8, 1), // unreachable
+	}}
+	idom := p.Dominators()
+	if idom[2] != NoBlock {
+		t.Errorf("idom[unreachable] = %d; want NoBlock", idom[2])
+	}
+	if idom[0] != 0 || idom[1] != 0 {
+		t.Errorf("idom = %v", idom)
+	}
+	// Loop detection must not be confused by the unreachable back edge.
+	if loops := p.Loops(); len(loops) != 0 {
+		t.Errorf("loops from unreachable edge: %d; want 0", len(loops))
+	}
+}
+
+// Property test: random loop-nest programs always produce (a) a valid
+// program, (b) detected loops exactly matching the builder's spans, and
+// (c) loop depth consistent with span containment.
+func TestRandomLoopNestsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xD00F))
+		b := NewBuilder(0x10000)
+		var spans []LoopSpan
+		nProcs := 1 + rng.IntN(3)
+		for pi := 0; pi < nProcs; pi++ {
+			p := b.Proc("p" + string(rune('a'+pi)))
+			p.Code(1 + rng.IntN(8))
+			var gen func(depth int)
+			gen = func(depth int) {
+				nLoops := rng.IntN(3)
+				for i := 0; i < nLoops; i++ {
+					p.BeginLoop()
+					p.Code(1 + rng.IntN(12))
+					if depth < 3 && rng.IntN(2) == 0 {
+						gen(depth + 1)
+					}
+					spans = append(spans, p.EndLoop())
+					if rng.IntN(2) == 0 {
+						p.Code(1 + rng.IntN(5))
+					}
+				}
+			}
+			gen(1)
+		}
+		prog, err := b.Build()
+		if err != nil {
+			t.Logf("seed %d: build error: %v", seed, err)
+			return false
+		}
+		loops := prog.AllLoops()
+		if len(loops) != len(spans) {
+			t.Logf("seed %d: %d detected vs %d built", seed, len(loops), len(spans))
+			return false
+		}
+		bySpan := make(map[string]LoopSpan, len(spans))
+		for _, s := range spans {
+			bySpan[s.Name()] = s
+		}
+		for _, l := range loops {
+			s, ok := bySpan[l.Name()]
+			if !ok {
+				t.Logf("seed %d: detected loop %s not built", seed, l.Name())
+				return false
+			}
+			if l.Depth != s.Depth {
+				t.Logf("seed %d: loop %s depth %d vs built %d", seed, l.Name(), l.Depth, s.Depth)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if Addr(0x146f0).String() != "146f0" {
+		t.Errorf("Addr.String = %q", Addr(0x146f0).String())
+	}
+	if KindLoad.String() != "load" {
+		t.Errorf("Kind.String = %q", KindLoad.String())
+	}
+	if Kind(200).String() == "" || Kind(200).Valid() {
+		t.Error("invalid Kind handling")
+	}
+}

@@ -1,0 +1,185 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Loop is a natural loop: the target of one or more back edges plus every
+// block that can reach the back edge source without passing the header.
+// Loops are the paper's primary unit of optimization ("regions are
+// primarily loops that have significant samples within an interval").
+type Loop struct {
+	// Proc is the enclosing procedure.
+	Proc *Procedure
+	// Header is the loop header block.
+	Header BlockID
+	// Blocks lists the loop's member blocks (header included), ascending.
+	Blocks []BlockID
+	// Depth is the nesting depth (1 = outermost).
+	Depth int
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+
+	start, end Addr
+}
+
+// Start returns the lowest instruction address in the loop.
+func (l *Loop) Start() Addr { return l.start }
+
+// End returns one past the highest instruction address in the loop.
+func (l *Loop) End() Addr { return l.end }
+
+// Contains reports whether addr falls inside the loop's address span.
+// Synthetic loop bodies are laid out contiguously, so the span test is
+// exact, matching the paper's "code region between address X and address Y"
+// notion of a region.
+func (l *Loop) Contains(addr Addr) bool { return addr >= l.start && addr < l.end }
+
+// NumInstrs returns the loop's instruction count.
+func (l *Loop) NumInstrs() int {
+	n := 0
+	for _, b := range l.Blocks {
+		n += l.Proc.Blocks[b].Len()
+	}
+	return n
+}
+
+// HasBlock reports whether b is a member of the loop.
+func (l *Loop) HasBlock(b BlockID) bool {
+	i := sort.Search(len(l.Blocks), func(i int) bool { return l.Blocks[i] >= b })
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// Name renders the paper's region-name convention, e.g. "146f0-14770".
+func (l *Loop) Name() string { return fmt.Sprintf("%v-%v", l.start, l.end) }
+
+// Loops returns the procedure's natural loops in ascending header-address
+// order. Loops sharing a header are merged (standard natural-loop
+// normalization). The result is computed once and cached.
+func (p *Procedure) Loops() []*Loop {
+	if p.loops != nil {
+		return p.loops
+	}
+	idom := p.Dominators()
+
+	// Collect back edges grouped by header.
+	backEdges := make(map[BlockID][]BlockID)
+	for _, b := range p.Blocks {
+		if idom[b.ID] == NoBlock && b.ID != 0 {
+			continue // unreachable
+		}
+		for _, s := range b.Succs {
+			if Dominates(idom, s, b.ID) {
+				backEdges[s] = append(backEdges[s], b.ID)
+			}
+		}
+	}
+
+	// Predecessors for the reachable loop-body walk.
+	preds := make([][]BlockID, len(p.Blocks))
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+
+	loops := make([]*Loop, 0, len(backEdges))
+	for header, tails := range backEdges {
+		member := map[BlockID]bool{header: true}
+		var stack []BlockID
+		for _, t := range tails {
+			if !member[t] {
+				member[t] = true
+				stack = append(stack, t)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, pr := range preds[b] {
+				if !member[pr] {
+					member[pr] = true
+					stack = append(stack, pr)
+				}
+			}
+		}
+		blocks := make([]BlockID, 0, len(member))
+		for b := range member {
+			blocks = append(blocks, b)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		l := &Loop{Proc: p, Header: header, Blocks: blocks}
+		l.start = p.Blocks[blocks[0]].Start
+		l.end = p.Blocks[blocks[0]].End()
+		for _, b := range blocks {
+			blk := p.Blocks[b]
+			if blk.Start < l.start {
+				l.start = blk.Start
+			}
+			if blk.End() > l.end {
+				l.end = blk.End()
+			}
+		}
+		loops = append(loops, l)
+	}
+
+	sort.Slice(loops, func(i, j int) bool {
+		li, lj := loops[i], loops[j]
+		if li.start != lj.start {
+			return li.start < lj.start
+		}
+		// Same start: the larger (outer) loop first.
+		return li.end > lj.end
+	})
+
+	// Nesting: loop A is the parent of B if A strictly contains B's blocks
+	// and no smaller loop does. With block sets sorted, containment can be
+	// tested via membership of B's header and size comparison.
+	for i, inner := range loops {
+		var best *Loop
+		for j, outer := range loops {
+			if i == j || len(outer.Blocks) <= len(inner.Blocks) {
+				continue
+			}
+			if outer.HasBlock(inner.Header) && containsAll(outer, inner) {
+				if best == nil || len(outer.Blocks) < len(best.Blocks) {
+					best = outer
+				}
+			}
+		}
+		inner.Parent = best
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+
+	p.loops = loops
+	return loops
+}
+
+func containsAll(outer, inner *Loop) bool {
+	for _, b := range inner.Blocks {
+		if !outer.HasBlock(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// InnermostLoopAt returns the innermost loop whose address span contains
+// addr, or nil. This is how region formation maps a hot sample to a
+// candidate loop region.
+func (p *Procedure) InnermostLoopAt(addr Addr) *Loop {
+	var best *Loop
+	for _, l := range p.Loops() {
+		if l.Contains(addr) && (best == nil || l.Depth > best.Depth) {
+			best = l
+		}
+	}
+	return best
+}

@@ -1,0 +1,170 @@
+package isa
+
+import "testing"
+
+// mkBlock builds a hand-rolled block for CFG tests.
+func mkBlock(id BlockID, start Addr, n int, succs ...BlockID) *Block {
+	kinds := make([]Kind, n)
+	for i := range kinds {
+		kinds[i] = KindALU
+	}
+	return &Block{ID: id, Start: start, Kinds: kinds, Succs: succs}
+}
+
+// TestLoopsMergeSharedHeader: two back edges into the same header form one
+// natural loop covering both bodies.
+func TestLoopsMergeSharedHeader(t *testing.T) {
+	// 0 -> 1(header) -> 2 -> 1 (back edge), 1 -> 3 -> 1 (back edge),
+	// 1 -> 4 (exit).
+	p := &Procedure{Name: "shared", Blocks: []*Block{
+		mkBlock(0, 0x00, 2, 1),
+		mkBlock(1, 0x08, 2, 2, 3, 4),
+		mkBlock(2, 0x10, 2, 1),
+		mkBlock(3, 0x18, 2, 1),
+		mkBlock(4, 0x20, 1),
+	}}
+	loops := p.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d; want 1 (merged natural loop)", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = %d; want 1", l.Header)
+	}
+	want := []BlockID{1, 2, 3}
+	if len(l.Blocks) != len(want) {
+		t.Fatalf("loop blocks = %v; want %v", l.Blocks, want)
+	}
+	for i, b := range want {
+		if l.Blocks[i] != b {
+			t.Fatalf("loop blocks = %v; want %v", l.Blocks, want)
+		}
+	}
+	if l.NumInstrs() != 6 {
+		t.Errorf("NumInstrs = %d; want 6", l.NumInstrs())
+	}
+	if !l.HasBlock(2) || l.HasBlock(4) {
+		t.Error("HasBlock answers wrong")
+	}
+}
+
+// TestSelfLoop: a block branching to itself is a one-block natural loop.
+func TestSelfLoop(t *testing.T) {
+	p := &Procedure{Name: "self", Blocks: []*Block{
+		mkBlock(0, 0x00, 2, 1),
+		mkBlock(1, 0x08, 3, 1, 2),
+		mkBlock(2, 0x14, 1),
+	}}
+	loops := p.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d; want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 || len(l.Blocks) != 1 || l.Depth != 1 {
+		t.Errorf("self loop = header %d blocks %v depth %d", l.Header, l.Blocks, l.Depth)
+	}
+	if l.Start() != 0x08 || l.End() != 0x14 {
+		t.Errorf("span = %v-%v; want 8-14", l.Start(), l.End())
+	}
+}
+
+// TestTripleNesting: three levels of nesting get depths 1..3 and correct
+// parent chains.
+func TestTripleNesting(t *testing.T) {
+	b := NewBuilder(0x1000)
+	p := b.Proc("deep")
+	p.BeginLoop()
+	p.Code(4)
+	p.BeginLoop()
+	p.Code(4)
+	inner := p.Loop(4, nil, nil)
+	mid := p.EndLoop()
+	outer := p.EndLoop()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if inner.Depth != 3 || mid.Depth != 2 || outer.Depth != 1 {
+		t.Fatalf("depths: %d %d %d; want 3 2 1", inner.Depth, mid.Depth, outer.Depth)
+	}
+	loops := prog.AllLoops()
+	if len(loops) != 3 {
+		t.Fatalf("detected %d loops; want 3", len(loops))
+	}
+	byDepth := map[int]*Loop{}
+	for _, l := range loops {
+		byDepth[l.Depth] = l
+	}
+	if byDepth[3].Parent != byDepth[2] || byDepth[2].Parent != byDepth[1] || byDepth[1].Parent != nil {
+		t.Error("parent chain wrong")
+	}
+	// Innermost lookup at the deepest address.
+	proc := prog.Procs[0]
+	if got := proc.InnermostLoopAt(inner.Start); got == nil || got.Depth != 3 {
+		t.Errorf("InnermostLoopAt(inner) = %v", got)
+	}
+}
+
+// TestLoopsCached: Loops() is computed once and cached.
+func TestLoopsCached(t *testing.T) {
+	b := NewBuilder(0x1000)
+	p := b.Proc("c")
+	p.Loop(4, nil, nil)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Procs[0].Loops()
+	bb := prog.Procs[0].Loops()
+	if &a[0] != &bb[0] {
+		t.Error("Loops() not cached")
+	}
+}
+
+// TestBuilderSpansSorted: Spans returns recorded loops in address order,
+// outer-first on ties.
+func TestBuilderSpansSorted(t *testing.T) {
+	b := NewBuilder(0x1000)
+	p := b.Proc("s")
+	p.Loop(4, nil, nil)
+	p.Code(2)
+	p.BeginLoop()
+	p.Code(3)
+	p.Loop(3, nil, nil)
+	p.EndLoop()
+	spans := p.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d; want 3", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Errorf("spans out of order: %v", spans)
+		}
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}
+
+// TestProcedureBlockAt covers the binary-search lookup.
+func TestProcedureBlockAt(t *testing.T) {
+	b := NewBuilder(0x1000)
+	p := b.Proc("b")
+	p.Code(4)
+	p.NewBlock()
+	p.Code(4)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := prog.Procs[0]
+	if blk := proc.BlockAt(0x1000); blk == nil || blk.ID != 0 {
+		t.Errorf("BlockAt(start) = %v", blk)
+	}
+	if blk := proc.BlockAt(0x1010); blk == nil || blk.ID != 1 {
+		t.Errorf("BlockAt(second) = %v", blk)
+	}
+	if blk := proc.BlockAt(proc.End()); blk != nil {
+		t.Errorf("BlockAt(end) = %v; want nil", blk)
+	}
+}

@@ -1,0 +1,378 @@
+// Package lpd implements the paper's contribution: Local Phase Detection
+// (Section 3.2), one detector instance per monitored code region.
+//
+// Each sampling interval yields, for a region, a histogram of sample
+// counts per instruction. The detector compares the current histogram
+// against a stable reference histogram ("prev_hist") with Pearson's
+// coefficient of correlation r; r below the threshold r_t (0.8 in the
+// paper) means the distribution of bottlenecks inside the region changed —
+// a local phase change. Pearson has the two properties Figure 8
+// demonstrates: a one-instruction bottleneck shift collapses r toward 0,
+// while uniformly scaling sample counts (sampling-rate noise, faster or
+// slower progress through the same behaviour) leaves r near 1.
+//
+// The state machine follows Figure 12: Unstable → LessUnstable → Stable,
+// advancing one state per interval with r >= r_t and falling back to
+// Unstable whenever r < r_t. While not Stable, the reference histogram
+// tracks the current interval; entering Stable freezes it until the next
+// fallback. An interval in which the region received no samples re-reports
+// the previous r and leaves the machine untouched ("when no samples are
+// obtained in an interval for a region, the value of r returned is the
+// same as during the last interval").
+//
+// Section 5 proposes investigating cheaper similarity metrics; the Metric
+// field selects the Pearson original or one of two such alternatives
+// (normalized-Manhattan similarity, top-k hot-instruction overlap), which
+// the ablation benchmarks compare.
+package lpd
+
+import (
+	"fmt"
+	"math"
+
+	"regionmon/internal/stats"
+)
+
+// State is a region's local phase state.
+type State int
+
+const (
+	// Unstable: the region's sample distribution is changing.
+	Unstable State = iota
+	// LessUnstable: one interval of similarity observed.
+	LessUnstable
+	// Stable: a locally stable phase; the reference histogram is frozen
+	// and the optimizer may act on the region.
+	Stable
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Unstable:
+		return "unstable"
+	case LessUnstable:
+		return "less-unstable"
+	case Stable:
+		return "stable"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Metric selects the similarity function.
+type Metric int
+
+const (
+	// MetricPearson is the paper's Pearson coefficient of correlation.
+	MetricPearson Metric = iota
+	// MetricManhattan is 1 - L1/2 over count-normalized histograms — a
+	// cheaper metric in the spirit of the paper's future work.
+	MetricManhattan
+	// MetricTopK is the overlap fraction of the k hottest instructions.
+	MetricTopK
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case MetricPearson:
+		return "pearson"
+	case MetricManhattan:
+		return "manhattan"
+	case MetricTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Config parameterizes a local phase detector.
+type Config struct {
+	// RT is the similarity threshold r_t; the paper uses 0.8.
+	RT float64
+	// Metric selects the similarity function (default Pearson).
+	Metric Metric
+	// TopK is the hot-set size for MetricTopK (default 8).
+	TopK int
+	// ScaleRTBySize enables the paper's proposed region-size-scaled
+	// threshold (Section 3.2.2: ammp's huge region sits just below 0.8,
+	// so "we are investigating the use of a threshold based on the size
+	// of region"). When enabled, regions larger than SizeRef instructions
+	// get a proportionally relaxed threshold:
+	//
+	//	rt_eff = max(MinRT, RT * (SizeRef/n)^SizeExp)   for n > SizeRef
+	//
+	// This is this reproduction's concrete interpretation of the
+	// future-work idea.
+	ScaleRTBySize bool
+	// SizeRef is the region size (instructions) at which scaling starts
+	// (default 256).
+	SizeRef int
+	// SizeExp is the scaling exponent (default 0.15).
+	SizeExp float64
+	// MinRT floors the scaled threshold (default 0.5).
+	MinRT float64
+}
+
+// DefaultConfig returns the paper's parameters (Pearson, r_t = 0.8).
+func DefaultConfig() Config {
+	return Config{
+		RT:      0.8,
+		Metric:  MetricPearson,
+		TopK:    8,
+		SizeRef: 256,
+		SizeExp: 0.15,
+		MinRT:   0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.RT <= 0 || c.RT > 1 {
+		return fmt.Errorf("lpd: threshold %v outside (0, 1]", c.RT)
+	}
+	switch c.Metric {
+	case MetricPearson, MetricManhattan, MetricTopK:
+	default:
+		return fmt.Errorf("lpd: unknown metric %v", c.Metric)
+	}
+	if c.Metric == MetricTopK && c.TopK < 1 {
+		return fmt.Errorf("lpd: top-k metric needs TopK >= 1 (got %d)", c.TopK)
+	}
+	if c.ScaleRTBySize {
+		if c.SizeRef < 1 || c.SizeExp <= 0 || c.MinRT <= 0 || c.MinRT > c.RT {
+			return fmt.Errorf("lpd: invalid size-scaling parameters (ref %d, exp %v, min %v)",
+				c.SizeRef, c.SizeExp, c.MinRT)
+		}
+	}
+	return nil
+}
+
+// Verdict is the outcome of one interval observation for a region.
+type Verdict struct {
+	// State is the detector state after the observation.
+	State State
+	// Prev is the state before the observation.
+	Prev State
+	// R is the similarity value used (re-reported from the previous
+	// interval when the region received no samples).
+	R float64
+	// PhaseChange reports a crossing of the stable boundary (the dotted
+	// transitions of Figure 12).
+	PhaseChange bool
+	// Empty reports that the region received no samples this interval.
+	Empty bool
+	// RefUpdated reports that the reference histogram was replaced by the
+	// current one.
+	RefUpdated bool
+}
+
+// Detector is one region's local phase detector. Not safe for concurrent
+// use.
+type Detector struct {
+	cfg    Config
+	rt     float64 // effective threshold (size-scaled once at creation)
+	n      int     // instructions in region
+	ref    []int64 // prev_hist: the stable set of samples
+	hasRef bool
+	state  State
+	lastR  float64
+
+	changes int
+	stable  int
+	total   int
+}
+
+// New returns a detector for a region of numInstrs instructions.
+func New(numInstrs int, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numInstrs < 1 {
+		return nil, fmt.Errorf("lpd: region must have at least one instruction (got %d)", numInstrs)
+	}
+	d := &Detector{cfg: cfg, n: numInstrs, ref: make([]int64, numInstrs)}
+	d.rt = cfg.EffectiveRT(numInstrs)
+	return d, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(numInstrs int, cfg Config) *Detector {
+	d, err := New(numInstrs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// EffectiveRT returns the threshold applied to a region of n instructions
+// under c (identical to RT unless size scaling is enabled).
+func (c *Config) EffectiveRT(n int) float64 {
+	if !c.ScaleRTBySize || n <= c.SizeRef {
+		return c.RT
+	}
+	rt := c.RT * math.Pow(float64(c.SizeRef)/float64(n), c.SizeExp)
+	if rt < c.MinRT {
+		rt = c.MinRT
+	}
+	return rt
+}
+
+// NumInstrs returns the region size the detector was built for.
+func (d *Detector) NumInstrs() int { return d.n }
+
+// RT returns the effective similarity threshold in use.
+func (d *Detector) RT() float64 { return d.rt }
+
+// State returns the current state.
+func (d *Detector) State() State { return d.state }
+
+// LastR returns the most recent similarity value.
+func (d *Detector) LastR() float64 { return d.lastR }
+
+// PhaseChanges returns the number of stable→unstable transitions — the
+// per-region quantity Figure 13 reports.
+func (d *Detector) PhaseChanges() int { return d.changes }
+
+// StableFraction returns the fraction of intervals spent in Stable —
+// Figure 14's per-region quantity.
+func (d *Detector) StableFraction() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.stable) / float64(d.total)
+}
+
+// Intervals returns the number of observed intervals.
+func (d *Detector) Intervals() int { return d.total }
+
+// Reference returns a copy of the current reference histogram (inspection
+// helper; nil before the first non-empty interval).
+func (d *Detector) Reference() []int64 {
+	if !d.hasRef {
+		return nil
+	}
+	out := make([]int64, len(d.ref))
+	copy(out, d.ref)
+	return out
+}
+
+// similarity computes the configured metric between the reference and the
+// current histogram.
+func (d *Detector) similarity(curr []int64) float64 {
+	switch d.cfg.Metric {
+	case MetricManhattan:
+		return 1 - stats.Manhattan(d.ref, curr)/2
+	case MetricTopK:
+		k := d.cfg.TopK
+		if k > d.n {
+			k = d.n
+		}
+		return stats.TopKOverlap(d.ref, curr, k)
+	default:
+		r, ok := stats.Pearson(d.ref, curr)
+		if !ok {
+			// One side has zero variance while the other varies: the
+			// behaviour changed shape; treat as uncorrelated.
+			return 0
+		}
+		return r
+	}
+}
+
+// Observe feeds one interval's per-instruction sample histogram. curr must
+// have exactly NumInstrs entries; Observe panics otherwise (the caller —
+// the region monitor — owns the histogram layout, and a mismatch is a
+// bug, not data). The contents of curr are copied when the reference is
+// updated; the caller may reuse the slice.
+func (d *Detector) Observe(curr []int64) Verdict {
+	if len(curr) != d.n {
+		panic(fmt.Sprintf("lpd: histogram has %d entries for a %d-instruction region", len(curr), d.n))
+	}
+	v := Verdict{Prev: d.state}
+	d.total++
+
+	empty := true
+	for _, c := range curr {
+		if c != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		// No samples: re-report last r, freeze the machine.
+		v.Empty = true
+		v.R = d.lastR
+		v.State = d.state
+		if d.state == Stable {
+			d.stable++
+		}
+		return v
+	}
+
+	if !d.hasRef {
+		// First populated interval: establish the reference, remain
+		// Unstable ("after two intervals, an r-value can be computed").
+		copy(d.ref, curr)
+		d.hasRef = true
+		d.lastR = 0
+		v.R = 0
+		v.State = d.state
+		v.RefUpdated = true
+		return v
+	}
+
+	r := d.similarity(curr)
+	d.lastR = r
+	v.R = r
+	similar := r >= d.rt
+
+	switch d.state {
+	case Unstable:
+		if similar {
+			d.state = LessUnstable
+		}
+		copy(d.ref, curr)
+		v.RefUpdated = true
+	case LessUnstable:
+		if similar {
+			d.state = Stable
+			// The reference is updated one final time on the
+			// transition, then frozen (Figure 12's edge labels).
+			copy(d.ref, curr)
+			v.RefUpdated = true
+		} else {
+			d.state = Unstable
+			copy(d.ref, curr)
+			v.RefUpdated = true
+		}
+	case Stable:
+		if !similar {
+			d.state = Unstable
+			d.changes++
+			copy(d.ref, curr)
+			v.RefUpdated = true
+		}
+	}
+
+	v.State = d.state
+	v.PhaseChange = (v.Prev == Stable) != (v.State == Stable)
+	if d.state == Stable {
+		d.stable++
+	}
+	return v
+}
+
+// Reset returns the detector to its initial state.
+func (d *Detector) Reset() {
+	for i := range d.ref {
+		d.ref[i] = 0
+	}
+	d.hasRef = false
+	d.state = Unstable
+	d.lastR = 0
+	d.changes = 0
+	d.stable = 0
+	d.total = 0
+}

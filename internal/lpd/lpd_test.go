@@ -1,0 +1,423 @@
+package lpd
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// hist builds a 10-entry histogram with a single bottleneck at idx.
+func hist(idx int, hot, base int64) []int64 {
+	h := make([]int64, 10)
+	for i := range h {
+		h[i] = base
+	}
+	h[idx] = hot
+	return h
+}
+
+func newDefault(t *testing.T) *Detector {
+	t.Helper()
+	d, err := New(10, DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{RT: 0},
+		{RT: 1.5},
+		{RT: 0.8, Metric: Metric(42)},
+		{RT: 0.8, Metric: MetricTopK, TopK: 0},
+		{RT: 0.8, ScaleRTBySize: true, SizeRef: 0, SizeExp: 0.1, MinRT: 0.5},
+		{RT: 0.8, ScaleRTBySize: true, SizeRef: 10, SizeExp: 0, MinRT: 0.5},
+		{RT: 0.8, ScaleRTBySize: true, SizeRef: 10, SizeExp: 0.1, MinRT: 0.9},
+	}
+	for i, c := range bad {
+		if _, err := New(10, c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(0, good); err == nil {
+		t.Error("zero-instruction region accepted")
+	}
+}
+
+func TestStabilizationSequence(t *testing.T) {
+	d := newDefault(t)
+	h := hist(3, 350, 10)
+
+	// Interval 1: establishes the reference, stays Unstable.
+	v := d.Observe(h)
+	if v.State != Unstable || !v.RefUpdated || v.R != 0 {
+		t.Fatalf("interval 1 verdict = %+v", v)
+	}
+	// Interval 2: r ≈ 1 → LessUnstable.
+	v = d.Observe(h)
+	if v.State != LessUnstable {
+		t.Fatalf("interval 2 state = %v; want less-unstable", v.State)
+	}
+	if v.R < 0.99 {
+		t.Fatalf("interval 2 r = %v; want ≈ 1", v.R)
+	}
+	// Interval 3: r ≈ 1 → Stable, phase change reported.
+	v = d.Observe(h)
+	if v.State != Stable || !v.PhaseChange {
+		t.Fatalf("interval 3 verdict = %+v; want stable + phase change", v)
+	}
+	// Reference is now frozen.
+	v = d.Observe(h)
+	if v.RefUpdated {
+		t.Error("reference updated while stable")
+	}
+}
+
+// TestScaledSamplesDoNotBreakStability is the core Figure 8 property at
+// the detector level: the same behaviour sampled at a different rate (all
+// counts scaled) must not trigger a phase change.
+func TestScaledSamplesDoNotBreakStability(t *testing.T) {
+	d := newDefault(t)
+	base := hist(3, 350, 10)
+	for i := 0; i < 3; i++ {
+		d.Observe(base)
+	}
+	if d.State() != Stable {
+		t.Fatal("precondition: not stable")
+	}
+	scaled := make([]int64, len(base))
+	for i, v := range base {
+		scaled[i] = v*3 + 2
+	}
+	v := d.Observe(scaled)
+	if v.State != Stable || v.PhaseChange {
+		t.Errorf("scaled histogram broke stability: %+v", v)
+	}
+	if v.R < 0.99 {
+		t.Errorf("scaled histogram r = %v; want ≈ 1 (paper: 0.998)", v.R)
+	}
+}
+
+// TestBottleneckShiftTriggersPhaseChange is Figure 8's other half: moving
+// the bottleneck by one instruction collapses r and triggers a change.
+func TestBottleneckShiftTriggersPhaseChange(t *testing.T) {
+	d := newDefault(t)
+	for i := 0; i < 3; i++ {
+		d.Observe(hist(3, 350, 10))
+	}
+	if d.State() != Stable {
+		t.Fatal("precondition: not stable")
+	}
+	v := d.Observe(hist(4, 350, 10))
+	if v.State != Unstable || !v.PhaseChange {
+		t.Fatalf("bottleneck shift verdict = %+v; want unstable + change", v)
+	}
+	if v.R > 0.2 {
+		t.Errorf("shifted-bottleneck r = %v; want near 0 (paper: -0.056)", v.R)
+	}
+	if d.PhaseChanges() != 1 {
+		t.Errorf("phase changes = %d; want 1", d.PhaseChanges())
+	}
+}
+
+func TestEmptyIntervalFreezesState(t *testing.T) {
+	d := newDefault(t)
+	h := hist(2, 200, 5)
+	for i := 0; i < 3; i++ {
+		d.Observe(h)
+	}
+	if d.State() != Stable {
+		t.Fatal("precondition: not stable")
+	}
+	rBefore := d.LastR()
+	empty := make([]int64, 10)
+	v := d.Observe(empty)
+	if !v.Empty || v.State != Stable || v.PhaseChange {
+		t.Errorf("empty interval verdict = %+v; want frozen stable", v)
+	}
+	if v.R != rBefore {
+		t.Errorf("empty interval r = %v; want last r %v", v.R, rBefore)
+	}
+	// Region resumes with the same behaviour: still stable.
+	v = d.Observe(h)
+	if v.State != Stable {
+		t.Errorf("state after resume = %v; want stable", v.State)
+	}
+}
+
+func TestEmptyFirstIntervalsDoNotEstablishReference(t *testing.T) {
+	d := newDefault(t)
+	empty := make([]int64, 10)
+	for i := 0; i < 5; i++ {
+		v := d.Observe(empty)
+		if v.State != Unstable || v.RefUpdated {
+			t.Fatalf("empty-start interval %d verdict = %+v", i, v)
+		}
+	}
+	if d.Reference() != nil {
+		t.Error("reference established from empty intervals")
+	}
+}
+
+func TestAntiCorrelationIsPhaseChange(t *testing.T) {
+	d := newDefault(t)
+	up := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for i := 0; i < 3; i++ {
+		d.Observe(up)
+	}
+	if d.State() != Stable {
+		t.Fatal("precondition: not stable")
+	}
+	down := []int64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	v := d.Observe(down)
+	if v.State != Unstable {
+		t.Errorf("anti-correlated interval state = %v; want unstable", v.State)
+	}
+	if v.R > -0.9 {
+		t.Errorf("anti-correlated r = %v; want ≈ -1", v.R)
+	}
+}
+
+func TestLessUnstableFallsBack(t *testing.T) {
+	d := newDefault(t)
+	d.Observe(hist(3, 350, 10)) // reference
+	v := d.Observe(hist(3, 350, 10))
+	if v.State != LessUnstable {
+		t.Fatal("precondition: not less-unstable")
+	}
+	v = d.Observe(hist(7, 350, 10)) // different behaviour
+	if v.State != Unstable {
+		t.Errorf("state = %v; want unstable", v.State)
+	}
+	if v.PhaseChange {
+		t.Error("less-unstable → unstable is not a stable-boundary crossing")
+	}
+}
+
+func TestObservePanicsOnSizeMismatch(t *testing.T) {
+	d := newDefault(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch should panic")
+		}
+	}()
+	d.Observe(make([]int64, 5))
+}
+
+func TestStableFractionAndIntervals(t *testing.T) {
+	d := newDefault(t)
+	h := hist(1, 100, 2)
+	for i := 0; i < 10; i++ {
+		d.Observe(h)
+	}
+	if d.Intervals() != 10 {
+		t.Fatalf("intervals = %d", d.Intervals())
+	}
+	// Stable from interval 3 onward: 8 of 10.
+	if got := d.StableFraction(); got != 0.8 {
+		t.Errorf("stable fraction = %v; want 0.8", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := newDefault(t)
+	h := hist(1, 100, 2)
+	for i := 0; i < 5; i++ {
+		d.Observe(h)
+	}
+	d.Observe(hist(6, 100, 2))
+	d.Reset()
+	if d.State() != Unstable || d.PhaseChanges() != 0 || d.Intervals() != 0 || d.Reference() != nil {
+		t.Error("Reset did not clear detector")
+	}
+}
+
+func TestManhattanMetric(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Metric = MetricManhattan
+	d := MustNew(10, cfg)
+	h := hist(3, 350, 10)
+	for i := 0; i < 3; i++ {
+		d.Observe(h)
+	}
+	if d.State() != Stable {
+		t.Fatalf("manhattan metric did not stabilize (state %v)", d.State())
+	}
+	// Scaled counts: normalized L1 distance is 0, still stable.
+	scaled := make([]int64, 10)
+	for i, v := range h {
+		scaled[i] = v * 4
+	}
+	if v := d.Observe(scaled); v.State != Stable {
+		t.Errorf("manhattan broke on scaling: %+v", v)
+	}
+	// Bottleneck shift: mass moves, distance large, phase change.
+	if v := d.Observe(hist(7, 350, 10)); v.State != Unstable {
+		t.Errorf("manhattan missed bottleneck shift: %+v", v)
+	}
+}
+
+func TestTopKMetric(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Metric = MetricTopK
+	cfg.TopK = 2
+	d := MustNew(10, cfg)
+	h := hist(3, 350, 10)
+	h[5] = 200 // two hot instructions
+	for i := 0; i < 3; i++ {
+		d.Observe(h)
+	}
+	if d.State() != Stable {
+		t.Fatalf("topk metric did not stabilize (state %v)", d.State())
+	}
+	moved := hist(7, 350, 10)
+	moved[8] = 200
+	if v := d.Observe(moved); v.State != Unstable {
+		t.Errorf("topk missed hot-set move: %+v", v)
+	}
+}
+
+func TestSizeScaledThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ScaleRTBySize = true
+	if got := cfg.EffectiveRT(100); got != cfg.RT {
+		t.Errorf("small region threshold = %v; want %v", got, cfg.RT)
+	}
+	big := cfg.EffectiveRT(4096)
+	if big >= cfg.RT {
+		t.Errorf("large region threshold = %v; want < %v", big, cfg.RT)
+	}
+	if big < cfg.MinRT {
+		t.Errorf("threshold %v fell below floor %v", big, cfg.MinRT)
+	}
+	// Monotone in region size.
+	if cfg.EffectiveRT(1<<20) > big {
+		t.Error("threshold not monotone in region size")
+	}
+	d := MustNew(4096, cfg)
+	if d.RT() != big {
+		t.Errorf("detector RT = %v; want %v", d.RT(), big)
+	}
+}
+
+// TestAmmpAnomalyScenario reproduces the Section 3.2.2 aberration: a very
+// large region whose r hovers just below 0.8 thrashes with the paper
+// threshold but stabilizes with the size-scaled one.
+func TestAmmpAnomalyScenario(t *testing.T) {
+	mkHists := func() [][]int64 {
+		rng := rand.New(rand.NewPCG(5, 5))
+		base := make([]int64, 2000)
+		for i := range base {
+			base[i] = int64(rng.IntN(20))
+		}
+		hists := make([][]int64, 12)
+		for h := range hists {
+			cur := make([]int64, len(base))
+			for i, v := range base {
+				// Same coarse behaviour + heavy per-interval noise on a
+				// huge region → r lands below 0.8 but above ~0.6.
+				cur[i] = v + int64(rng.IntN(16))
+			}
+			hists[h] = cur
+		}
+		return hists
+	}
+
+	plain := MustNew(2000, DefaultConfig())
+	scaledCfg := DefaultConfig()
+	scaledCfg.ScaleRTBySize = true
+	scaled := MustNew(2000, scaledCfg)
+
+	var rSeen float64
+	for _, h := range mkHists() {
+		v := plain.Observe(h)
+		scaled.Observe(h)
+		rSeen = v.R
+	}
+	if !(rSeen > 0.5 && rSeen < 0.8) {
+		t.Fatalf("scenario r = %v; want just below 0.8 to model ammp", rSeen)
+	}
+	if plain.State() == Stable {
+		t.Error("plain threshold should not stabilize the ammp scenario")
+	}
+	if scaled.State() != Stable {
+		t.Errorf("size-scaled threshold should stabilize the ammp scenario (rt=%v, state=%v)",
+			scaled.RT(), scaled.State())
+	}
+}
+
+// Property: phase-change accounting matches verdict stream, and the state
+// machine can never jump from Unstable to Stable in one interval.
+func TestStateMachineProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		d := MustNew(10, DefaultConfig())
+		counted := 0
+		prev := Unstable
+		for i := 0; i < 200; i++ {
+			var h []int64
+			switch rng.IntN(4) {
+			case 0:
+				h = make([]int64, 10) // empty interval
+			case 1:
+				h = hist(3, 350, 10)
+			case 2:
+				h = hist(rng.IntN(10), 350, 10)
+			default:
+				h = hist(3, int64(100+rng.IntN(500)), int64(1+rng.IntN(20)))
+			}
+			v := d.Observe(h)
+			if v.Prev != prev {
+				return false
+			}
+			if prev == Unstable && v.State == Stable {
+				return false // must pass through LessUnstable
+			}
+			if v.Prev == Stable && v.State == Unstable {
+				counted++
+			}
+			prev = v.State
+		}
+		return counted == d.PhaseChanges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Unstable.String() != "unstable" || LessUnstable.String() != "less-unstable" || Stable.String() != "stable" {
+		t.Error("state names wrong")
+	}
+	if MetricPearson.String() != "pearson" || MetricManhattan.String() != "manhattan" || MetricTopK.String() != "topk" {
+		t.Error("metric names wrong")
+	}
+	if State(9).String() == "" || Metric(9).String() == "" {
+		t.Error("unknown enum values should render")
+	}
+}
+
+func BenchmarkObservePearson(b *testing.B)   { benchObserve(b, MetricPearson) }
+func BenchmarkObserveManhattan(b *testing.B) { benchObserve(b, MetricManhattan) }
+func BenchmarkObserveTopK(b *testing.B)      { benchObserve(b, MetricTopK) }
+
+func benchObserve(b *testing.B, m Metric) {
+	cfg := DefaultConfig()
+	cfg.Metric = m
+	d := MustNew(64, cfg)
+	h := make([]int64, 64)
+	for i := range h {
+		h[i] = int64(i * 3 % 17)
+	}
+	h[13] = 400
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(h)
+	}
+}

@@ -1,0 +1,475 @@
+// Package region implements the paper's region monitoring framework
+// (Section 3): it decouples working-set change detection from phase
+// detection. On every sample-buffer overflow it
+//
+//  1. distributes the buffered PC samples across the monitored regions
+//     (using either a linear region list or an interval tree — the paper's
+//     Section 3.2.3 cost comparison), incrementing per-instruction
+//     histograms; a sample falling in several overlapping regions (nested
+//     loops) increments all of them;
+//  2. attributes samples outside every monitored region to the
+//     UnMonitored Code Region (UCR) and, when the UCR fraction exceeds a
+//     threshold (30% in the paper's study), triggers region formation —
+//     building loop regions around the unmonitored hot samples;
+//  3. runs each region's local phase detector on its interval histogram.
+//
+// Some hot code cannot be covered: samples in straight-line code or in
+// loops spanning procedure boundaries form no region (the paper's
+// 186.crafty / 254.gap discussion), so their UCR contribution persists
+// across formation triggers.
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"regionmon/internal/hpm"
+	"regionmon/internal/interval"
+	"regionmon/internal/isa"
+	"regionmon/internal/lpd"
+	"regionmon/internal/stats"
+)
+
+// Config parameterizes the monitor.
+type Config struct {
+	// UCRThreshold is the UCR sample fraction above which region
+	// formation is triggered (paper: 30%).
+	UCRThreshold float64
+	// MinRegionSamples is the minimum number of interval samples that
+	// must land in a loop for it to become a monitored region ("loops
+	// that have significant samples within an interval").
+	MinRegionSamples int
+	// MinObserveSamples is the minimum interval sample count for a
+	// region's histogram to be fed to its phase detector; sparser
+	// intervals are treated like empty ones (state frozen, last r
+	// re-reported). The paper only specifies the zero-sample rule; this
+	// guard extends it so that sliver intervals at execution boundaries —
+	// a couple of Poisson-noise samples spread over the region — cannot
+	// fake phase changes. Set to 1 to disable.
+	MinObserveSamples int
+	// Detector configures each region's local phase detector.
+	Detector lpd.Config
+	// UseIntervalTree selects the interval-tree distribution structure
+	// instead of the linear list.
+	UseIntervalTree bool
+	// PruneAfter removes a region after this many consecutive intervals
+	// without samples (the paper's proposed region pruning); 0 disables.
+	PruneAfter int
+	// MaxRegions caps the monitored-region count (0 = unlimited).
+	MaxRegions int
+	// Annotations supplies compiler-provided candidate regions the loop
+	// finder cannot discover (a Section 3.1 future-work extension; empty
+	// = the paper's baseline).
+	Annotations []Annotation
+	// InterProcedural enables building whole-procedure regions around hot
+	// non-loop samples (the paper's other Section 3.1 extension; false =
+	// baseline).
+	InterProcedural bool
+	// MaxProcRegionInstrs caps inter-procedural region size
+	// (0 = DefaultMaxProcRegionInstrs).
+	MaxProcRegionInstrs int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		UCRThreshold:      0.30,
+		MinRegionSamples:  16,
+		MinObserveSamples: 16,
+		Detector:          lpd.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.UCRThreshold <= 0 || c.UCRThreshold > 1 {
+		return fmt.Errorf("region: UCR threshold %v outside (0, 1]", c.UCRThreshold)
+	}
+	if c.MinRegionSamples < 1 {
+		return fmt.Errorf("region: min region samples %d < 1", c.MinRegionSamples)
+	}
+	if c.MinObserveSamples < 1 {
+		return fmt.Errorf("region: min observe samples %d < 1", c.MinObserveSamples)
+	}
+	if c.PruneAfter < 0 {
+		return fmt.Errorf("region: prune-after %d < 0", c.PruneAfter)
+	}
+	if c.MaxRegions < 0 {
+		return fmt.Errorf("region: max regions %d < 0", c.MaxRegions)
+	}
+	if c.MaxProcRegionInstrs < 0 {
+		return fmt.Errorf("region: max procedure-region size %d < 0", c.MaxProcRegionInstrs)
+	}
+	return c.Detector.Validate()
+}
+
+// validateAnnotations checks the configured annotations against prog
+// (deferred to NewMonitor, which has the program).
+func (c *Config) validateAnnotations(prog *isa.Program) error {
+	for i := range c.Annotations {
+		if err := c.Annotations[i].Validate(prog); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Region is one monitored code region: a loop's address span, its
+// interval histogram and its local phase detector.
+type Region struct {
+	// ID is the region's stable identifier within its monitor.
+	ID int
+	// Start, End delimit the region's half-open address span.
+	Start, End isa.Addr
+	// Loop is the natural loop the region was built from (nil for
+	// regions added manually via AddRegion on a non-loop span).
+	Loop *isa.Loop
+	// Detector is the region's local phase detector.
+	Detector *lpd.Detector
+	// FormedAt is the overflow sequence number at which the region was
+	// formed.
+	FormedAt int
+
+	curr         []int64
+	intervalHits int
+	totalSamples int64
+	idleFor      int
+}
+
+// Name renders the paper's region-name convention, e.g. "146f0-14770".
+func (r *Region) Name() string { return fmt.Sprintf("%v-%v", r.Start, r.End) }
+
+// NumInstrs returns the region's instruction count.
+func (r *Region) NumInstrs() int { return int(r.End-r.Start) / isa.InstrBytes }
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr isa.Addr) bool { return addr >= r.Start && addr < r.End }
+
+// TotalSamples returns the samples attributed to the region so far.
+func (r *Region) TotalSamples() int64 { return r.totalSamples }
+
+// GranularityCycles estimates the region's granularity in the paper's
+// Section 3.2 sense — "the smallest number of cycles required to execute a
+// single iteration of the code region" — by summing the per-instruction
+// base costs supplied by cost (stall-free lower bound). Local phase
+// detection assumes the sampling period exceeds this value; callers can
+// warn when it does not.
+func (r *Region) GranularityCycles(prog *isa.Program, cost func(isa.Kind) uint64) uint64 {
+	var total uint64
+	for a := r.Start; a < r.End; a += isa.InstrBytes {
+		k, ok := prog.KindAt(a)
+		if !ok {
+			k = isa.KindNop
+		}
+		total += cost(k)
+	}
+	return total
+}
+
+// Histogram returns a copy of the region's current-interval histogram
+// (inspection helper).
+func (r *Region) Histogram() []int64 {
+	out := make([]int64, len(r.curr))
+	copy(out, r.curr)
+	return out
+}
+
+// RegionVerdict pairs a region with its verdict for one interval.
+type RegionVerdict struct {
+	// Region is the monitored region.
+	Region *Region
+	// Verdict is the local phase detector's output.
+	Verdict lpd.Verdict
+	// Samples is the number of samples the region received this interval.
+	Samples int
+}
+
+// Report summarizes one overflow's worth of monitoring.
+type Report struct {
+	// Seq is the overflow sequence number.
+	Seq int
+	// TotalSamples is the number of samples in the buffer.
+	TotalSamples int
+	// MonitoredSamples landed in at least one region.
+	MonitoredSamples int
+	// UCRSamples landed in no region (including idle samples at PC 0).
+	UCRSamples int
+	// UCRFraction is UCRSamples / TotalSamples (0 for an empty buffer).
+	UCRFraction float64
+	// FormationTriggered reports that the UCR fraction exceeded the
+	// threshold this interval.
+	FormationTriggered bool
+	// NewRegions lists regions formed this interval.
+	NewRegions []*Region
+	// Pruned lists regions removed this interval.
+	Pruned []*Region
+	// Verdicts holds one entry per monitored region, in region-ID order.
+	Verdicts []RegionVerdict
+}
+
+// Monitor is the region monitoring framework.
+type Monitor struct {
+	prog *isa.Program
+	cfg  Config
+
+	regions map[int]*Region
+	index   interval.Index
+	nextID  int
+	seq     int
+
+	ucrHistory []float64
+	loopCount  map[*isa.Loop]int // scratch for formation
+}
+
+// NewMonitor returns a monitor for prog.
+func NewMonitor(prog *isa.Program, cfg Config) (*Monitor, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("region: nil program")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateAnnotations(prog); err != nil {
+		return nil, err
+	}
+	var ix interval.Index
+	if cfg.UseIntervalTree {
+		ix = interval.NewTree()
+	} else {
+		ix = interval.NewList()
+	}
+	return &Monitor{
+		prog:      prog,
+		cfg:       cfg,
+		regions:   make(map[int]*Region),
+		index:     ix,
+		loopCount: make(map[*isa.Loop]int),
+	}, nil
+}
+
+// Regions returns the monitored regions in ID order.
+func (m *Monitor) Regions() []*Region {
+	out := make([]*Region, 0, len(m.regions))
+	for _, r := range m.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RegionAt returns the first monitored region containing addr, preferring
+// the innermost (smallest) one, or nil.
+func (m *Monitor) RegionAt(addr isa.Addr) *Region {
+	var best *Region
+	m.index.Stab(uint64(addr), func(id int) {
+		r := m.regions[id]
+		if best == nil || r.End-r.Start < best.End-best.Start {
+			best = r
+		}
+	})
+	return best
+}
+
+// UCRHistory returns the per-interval UCR fractions observed so far.
+func (m *Monitor) UCRHistory() []float64 {
+	out := make([]float64, len(m.ucrHistory))
+	copy(out, m.ucrHistory)
+	return out
+}
+
+// UCRMedian returns the median per-interval UCR fraction — the Figure 6
+// per-benchmark quantity.
+func (m *Monitor) UCRMedian() float64 { return stats.Median(m.ucrHistory) }
+
+// AddRegion manually registers a region over [start, end) (used for
+// non-loop spans in tests and by controllers with prior knowledge).
+func (m *Monitor) AddRegion(start, end isa.Addr) (*Region, error) {
+	if start >= end {
+		return nil, fmt.Errorf("region: empty span %v-%v", start, end)
+	}
+	for _, r := range m.regions {
+		if r.Start == start && r.End == end {
+			return nil, fmt.Errorf("region: span %v-%v already monitored", start, end)
+		}
+	}
+	if m.cfg.MaxRegions > 0 && len(m.regions) >= m.cfg.MaxRegions {
+		return nil, fmt.Errorf("region: region cap %d reached", m.cfg.MaxRegions)
+	}
+	n := int(end-start) / isa.InstrBytes
+	det, err := lpd.New(n, m.cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	var loop *isa.Loop
+	if p := m.prog.ProcAt(start); p != nil {
+		if l := p.InnermostLoopAt(start); l != nil && l.Start() == start && l.End() == end {
+			loop = l
+		}
+	}
+	r := &Region{
+		ID:       m.nextID,
+		Start:    start,
+		End:      end,
+		Loop:     loop,
+		Detector: det,
+		FormedAt: m.seq,
+		curr:     make([]int64, n),
+	}
+	m.nextID++
+	m.regions[r.ID] = r
+	m.index.Insert(r.ID, uint64(start), uint64(end))
+	return r, nil
+}
+
+// removeRegion drops r from the monitor.
+func (m *Monitor) removeRegion(r *Region) {
+	delete(m.regions, r.ID)
+	m.index.Remove(r.ID)
+}
+
+// ProcessOverflow runs one interval of region monitoring over the
+// delivered sample buffer and returns the report. It is the monitoring
+// thread's whole job: distribute, form, detect, prune.
+func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
+	rep := Report{Seq: ov.Seq, TotalSamples: len(ov.Samples)}
+	m.seq = ov.Seq
+
+	// Phase 1: distribute samples. UCR PCs are collected for formation.
+	var ucrPCs []isa.Addr
+	for i := range ov.Samples {
+		pc := ov.Samples[i].PC
+		hit := false
+		m.index.Stab(uint64(pc), func(id int) {
+			r := m.regions[id]
+			idx := int(pc-r.Start) / isa.InstrBytes
+			r.curr[idx]++
+			r.intervalHits++
+			r.totalSamples++
+			hit = true
+		})
+		if hit {
+			rep.MonitoredSamples++
+		} else {
+			rep.UCRSamples++
+			if pc != 0 {
+				ucrPCs = append(ucrPCs, pc)
+			}
+		}
+	}
+	if rep.TotalSamples > 0 {
+		rep.UCRFraction = float64(rep.UCRSamples) / float64(rep.TotalSamples)
+	}
+	m.ucrHistory = append(m.ucrHistory, rep.UCRFraction)
+
+	// Phase 2: region formation when the UCR is too hot.
+	if rep.TotalSamples > 0 && rep.UCRFraction > m.cfg.UCRThreshold {
+		rep.FormationTriggered = true
+		rep.NewRegions = m.formRegions(ucrPCs)
+	}
+
+	// Phase 3: local phase detection per region, then reset interval
+	// state and prune cold regions.
+	ids := make([]int, 0, len(m.regions))
+	for id := range m.regions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := m.regions[id]
+		if r.intervalHits > 0 && r.intervalHits < m.cfg.MinObserveSamples {
+			// Too sparse to judge: treat as an empty interval.
+			for i := range r.curr {
+				r.curr[i] = 0
+			}
+		}
+		v := r.Detector.Observe(r.curr)
+		rep.Verdicts = append(rep.Verdicts, RegionVerdict{Region: r, Verdict: v, Samples: r.intervalHits})
+		// A region counts as idle when it had no *observable* activity —
+		// sparse trickle samples below the observation guard do not keep
+		// a cold region alive ("remove infrequently executing and
+		// relatively cold regions").
+		if r.intervalHits < m.cfg.MinObserveSamples {
+			r.idleFor++
+		} else {
+			r.idleFor = 0
+		}
+		for i := range r.curr {
+			r.curr[i] = 0
+		}
+		r.intervalHits = 0
+		if m.cfg.PruneAfter > 0 && r.idleFor >= m.cfg.PruneAfter {
+			m.removeRegion(r)
+			rep.Pruned = append(rep.Pruned, r)
+		}
+	}
+	return rep
+}
+
+// formRegions builds loop regions around unmonitored hot samples: each UCR
+// PC is mapped to its innermost enclosing natural loop; loops gathering at
+// least MinRegionSamples become regions. Samples with no enclosing loop
+// (straight-line code, loops crossing procedure boundaries) form nothing —
+// the paper's persistent-UCR limitation. The triggering interval's samples
+// are replayed into the new regions so detection starts immediately.
+func (m *Monitor) formRegions(ucrPCs []isa.Addr) []*Region {
+	clear(m.loopCount)
+	for _, pc := range ucrPCs {
+		p := m.prog.ProcAt(pc)
+		if p == nil {
+			continue
+		}
+		if l := p.InnermostLoopAt(pc); l != nil {
+			m.loopCount[l]++
+		}
+	}
+	// Deterministic formation order: hottest loop first, address as tie
+	// break.
+	type cand struct {
+		loop *isa.Loop
+		n    int
+	}
+	cands := make([]cand, 0, len(m.loopCount))
+	for l, n := range m.loopCount {
+		if n >= m.cfg.MinRegionSamples {
+			cands = append(cands, cand{l, n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].loop.Start() < cands[j].loop.Start()
+	})
+	var formed []*Region
+	for _, c := range cands {
+		r, err := m.AddRegion(c.loop.Start(), c.loop.End())
+		if err != nil {
+			continue // already monitored under an identical span, or cap hit
+		}
+		r.Loop = c.loop
+		formed = append(formed, r)
+	}
+	// Extension candidates (compiler annotations, inter-procedural
+	// regions) — no-ops under the paper's baseline configuration.
+	for _, c := range m.extendedCandidates(ucrPCs) {
+		r, err := m.AddRegion(c.start, c.end)
+		if err != nil {
+			continue
+		}
+		formed = append(formed, r)
+	}
+	if len(formed) == 0 {
+		return nil
+	}
+	// Replay the triggering interval's UCR samples into the new regions.
+	for _, pc := range ucrPCs {
+		for _, r := range formed {
+			if r.Contains(pc) {
+				r.curr[int(pc-r.Start)/isa.InstrBytes]++
+				r.intervalHits++
+				r.totalSamples++
+			}
+		}
+	}
+	return formed
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"regionmon/internal/hpm"
+	"regionmon/internal/isa"
+)
+
+// Executor runs a Schedule over a Program, reporting every retired
+// instruction to the performance monitor. Between sampling interrupts it
+// batches whole loop iterations (see hpm.TryRetireBatch), so simulation
+// cost scales with sample count, not instruction count, without changing
+// any observable sample.
+type Executor struct {
+	prog  *isa.Program
+	sched *Schedule
+	mon   *hpm.Monitor
+	costs CostModel
+	rng   *rand.Rand
+
+	states map[Span]*regionState
+	opts   []optimization
+
+	baseCycles  uint64
+	extraCycles uint64 // controller-injected stalls (patching overhead)
+	instrs      uint64
+	stopped     bool
+}
+
+// optimization is an active cycle modifier deployed by the RTO controller:
+// within [span), stall cycles (miss penalties and hotspot stalls) are
+// scaled by (1 - save). save may be negative, modelling a speculative
+// optimization that hurts (the self-monitoring scenario).
+type optimization struct {
+	span Span
+	save float64
+}
+
+// regionState caches the per-span execution machinery.
+type regionState struct {
+	span    Span
+	kinds   []isa.Kind
+	addrs   []isa.Addr
+	baseSum uint64 // Σ kind costs over one iteration, stalls excluded
+	nLoads  uint64
+	missAcc float64
+	iter    uint64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// BaseCycles is the schedule work performed (identical across
+	// controllers for the same schedule).
+	BaseCycles uint64
+	// Cycles is the actual cycles consumed, including optimization
+	// savings/penalties and controller-injected overhead.
+	Cycles uint64
+	// Instrs is the number of instructions retired.
+	Instrs uint64
+	// Overflows is the number of full sample-buffer deliveries.
+	Overflows int
+}
+
+// Speedup returns the speedup of this result over base: positive when this
+// run was faster. (Paper Figure 17 reports RTO-LPD over RTO-ORIG this way.)
+func (r Result) Speedup(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles)/float64(r.Cycles) - 1
+}
+
+// NewExecutor validates the schedule against the program and returns a
+// ready-to-run executor using the default cost model.
+func NewExecutor(prog *isa.Program, sched *Schedule, mon *hpm.Monitor) (*Executor, error) {
+	return NewExecutorCosts(prog, sched, mon, DefaultCostModel())
+}
+
+// NewExecutorCosts is NewExecutor with an explicit cost model.
+func NewExecutorCosts(prog *isa.Program, sched *Schedule, mon *hpm.Monitor, costs CostModel) (*Executor, error) {
+	if prog == nil || sched == nil || mon == nil {
+		return nil, fmt.Errorf("sim: nil program, schedule or monitor")
+	}
+	if err := sched.Validate(prog); err != nil {
+		return nil, err
+	}
+	return &Executor{
+		prog:   prog,
+		sched:  sched,
+		mon:    mon,
+		costs:  costs,
+		rng:    rand.New(rand.NewPCG(sched.Seed, 0x5EED)),
+		states: make(map[Span]*regionState),
+	}, nil
+}
+
+// Monitor returns the executor's performance monitor.
+func (e *Executor) Monitor() *hpm.Monitor { return e.mon }
+
+// Program returns the program under execution.
+func (e *Executor) Program() *isa.Program { return e.prog }
+
+// SetOptimization activates a stall-cycle modifier over span: subsequent
+// visits to regions inside span have their stall cycles scaled by
+// (1 - save). Deploying over an already-optimized span replaces the save
+// fraction. The modifier takes effect at the next region visit, modelling
+// patch latency.
+func (e *Executor) SetOptimization(span Span, save float64) {
+	for i := range e.opts {
+		if e.opts[i].span == span {
+			e.opts[i].save = save
+			return
+		}
+	}
+	e.opts = append(e.opts, optimization{span: span, save: save})
+}
+
+// ClearOptimization removes the modifier over span, reporting whether one
+// was active (the RTO's "unpatch").
+func (e *Executor) ClearOptimization(span Span) bool {
+	for i := range e.opts {
+		if e.opts[i].span == span {
+			e.opts[i] = e.opts[len(e.opts)-1]
+			e.opts = e.opts[:len(e.opts)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveOptimizations returns the active spans (test/inspection helper).
+func (e *Executor) ActiveOptimizations() []Span {
+	out := make([]Span, len(e.opts))
+	for i := range e.opts {
+		out[i] = e.opts[i].span
+	}
+	return out
+}
+
+// saveFor returns the active save fraction covering rb's span (a modifier
+// applies when its span contains the region's start). Linear scan: the
+// optimizer deploys at most a few dozen traces.
+func (e *Executor) saveFor(rb *RegionBehavior) float64 {
+	for i := range e.opts {
+		if e.opts[i].span.Contains(rb.Start) {
+			return e.opts[i].save
+		}
+	}
+	return 0
+}
+
+// Stall injects controller overhead cycles (e.g. trace patching) into the
+// run. The cycles count toward actual time but not base work.
+func (e *Executor) Stall(cycles uint64) {
+	e.extraCycles += cycles
+	e.mon.Idle(cycles)
+}
+
+// Stop aborts the run at the next iteration boundary; used by controllers
+// that only need a prefix of the schedule.
+func (e *Executor) Stop() { e.stopped = true }
+
+// Run executes the whole schedule and returns the result. The monitor's
+// overflow callback fires synchronously during the run; a final partial
+// buffer is flushed at the end.
+func (e *Executor) Run() Result {
+	reps := e.sched.Repeat
+	if reps < 1 {
+		reps = 1
+	}
+	for rep := 0; rep < reps && !e.stopped; rep++ {
+		for si := range e.sched.Segments {
+			if e.stopped {
+				break
+			}
+			e.runSegment(&e.sched.Segments[si])
+		}
+	}
+	e.mon.Flush()
+	return Result{
+		BaseCycles: e.baseCycles,
+		Cycles:     e.mon.Cycle(),
+		Instrs:     e.instrs,
+		Overflows:  e.mon.Deliveries(),
+	}
+}
+
+// runSegment executes one segment's worth of work.
+func (e *Executor) runSegment(seg *Segment) {
+	// Normalize weights once.
+	var wsum float64
+	for i := range seg.Regions {
+		wsum += seg.Regions[i].Weight
+	}
+	remaining := seg.BaseCycles
+	for remaining > 0 && !e.stopped {
+		for i := range seg.Regions {
+			if remaining == 0 || e.stopped {
+				break
+			}
+			rb := &seg.Regions[i]
+			budget := uint64(float64(seg.SlicePeriod) * rb.Weight / wsum)
+			if seg.JitterFrac > 0 {
+				j := 1 + seg.JitterFrac*(2*e.rng.Float64()-1)
+				budget = uint64(float64(budget) * j)
+			}
+			if budget == 0 {
+				budget = 1
+			}
+			if budget > remaining {
+				budget = remaining
+			}
+			consumed := e.runVisit(rb, budget)
+			if consumed >= remaining {
+				remaining = 0
+			} else {
+				remaining -= consumed
+			}
+		}
+	}
+}
+
+// state returns (building if needed) the cached execution state for span.
+func (e *Executor) state(span Span) *regionState {
+	if st, ok := e.states[span]; ok {
+		return st
+	}
+	n := int(span.End-span.Start) / isa.InstrBytes
+	st := &regionState{
+		span:  span,
+		kinds: make([]isa.Kind, 0, n),
+		addrs: make([]isa.Addr, 0, n),
+	}
+	for a := span.Start; a < span.End; a += isa.InstrBytes {
+		k, ok := e.prog.KindAt(a)
+		if !ok {
+			// Inter-procedure gap inside the span: treat as nop padding.
+			k = isa.KindNop
+		}
+		st.kinds = append(st.kinds, k)
+		st.addrs = append(st.addrs, a)
+		st.baseSum += e.costs.Cost(k)
+		if k == isa.KindLoad {
+			st.nLoads++
+		}
+	}
+	e.states[span] = st
+	return st
+}
+
+// stallScaled applies the optimization save fraction to a stall, rounding
+// half-up, clamping negative results to zero growth only when save <= 1.
+func stallScaled(stall uint64, save float64) uint64 {
+	if stall == 0 || save == 0 {
+		return stall
+	}
+	v := float64(stall) * (1 - save)
+	if v <= 0 {
+		return 0
+	}
+	return uint64(v + 0.5)
+}
+
+// iterCosts returns one iteration's base cost, actual cost and miss count
+// under the current miss schedule position. It must stay consistent with
+// walkIteration: the batch path and the instruction path account
+// identically.
+func (e *Executor) iterCosts(st *regionState, rb *RegionBehavior, missIter bool, save float64) (base, actual, misses uint64) {
+	base = st.baseSum
+	actual = st.baseSum
+	if missIter && st.nLoads > 0 {
+		base += st.nLoads * rb.MissPenalty
+		actual += st.nLoads * stallScaled(rb.MissPenalty, save)
+		misses += st.nLoads
+	}
+	if rb.HotspotIdx >= 0 && rb.HotspotIdx < len(st.kinds) {
+		base += rb.HotspotStall
+		actual += stallScaled(rb.HotspotStall, save)
+		misses++
+	}
+	return base, actual, misses
+}
+
+// walkIteration retires one iteration instruction-by-instruction so a
+// sampling interrupt lands on the right PC.
+func (e *Executor) walkIteration(st *regionState, rb *RegionBehavior, missIter bool, save float64) {
+	for i, k := range st.kinds {
+		cost := e.costs.Cost(k)
+		var miss uint64
+		if missIter && k == isa.KindLoad {
+			cost += stallScaled(rb.MissPenalty, save)
+			miss = 1
+		}
+		if i == rb.HotspotIdx {
+			cost += stallScaled(rb.HotspotStall, save)
+			miss++
+		}
+		e.mon.Retire(st.addrs[i], cost, miss)
+	}
+}
+
+// runVisit executes iterations of rb until the base-cycle budget is
+// consumed (always at least one iteration). Returns base cycles consumed.
+func (e *Executor) runVisit(rb *RegionBehavior, budget uint64) uint64 {
+	st := e.state(rb.Span())
+	save := e.saveFor(rb)
+	var consumed uint64
+	nInstr := uint64(len(st.kinds))
+	for consumed < budget {
+		st.missAcc += rb.MissRate
+		missIter := false
+		if st.missAcc >= 1 {
+			st.missAcc--
+			missIter = true
+		}
+		base, actual, misses := e.iterCosts(st, rb, missIter, save)
+		if !e.mon.TryRetireBatch(actual, nInstr, misses) {
+			e.walkIteration(st, rb, missIter, save)
+		}
+		e.baseCycles += base
+		e.instrs += nInstr
+		consumed += base
+		st.iter++
+	}
+	return consumed
+}

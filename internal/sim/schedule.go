@@ -1,0 +1,196 @@
+// Package sim executes a synthetic program under a phase schedule on a
+// deterministic cycle-level model, driving the simulated hardware
+// performance monitor. It is the stand-in for "SPEC CPU2000 binary running
+// on an UltraSPARC": phase detection downstream sees only the PC-sample
+// stream the monitor captures.
+//
+// A Schedule is a sequence of Segments; each segment describes which code
+// regions are hot, what share of execution each gets, how often its loads
+// miss the data cache, where the per-instruction bottleneck sits, and how
+// quickly execution round-robins between the hot regions (the periodicity
+// that makes global phase detection sampling-period sensitive, Section 2.3
+// of the paper). Work is measured in base cycles — the cost of the code
+// with no optimization applied — so two runs of the same schedule under
+// different optimization controllers perform identical work and their
+// actual-cycle totals are directly comparable (that comparison is
+// Figure 17).
+package sim
+
+import (
+	"fmt"
+
+	"regionmon/internal/isa"
+)
+
+// RegionBehavior describes one code region's behaviour during a segment.
+// The span usually comes from a builder LoopSpan, but any contiguous
+// instruction range works — non-loop spans model code the region builder
+// cannot cover (the paper's UCR discussion around Figures 6 and 7).
+type RegionBehavior struct {
+	// Start, End delimit the half-open address span to execute.
+	Start, End isa.Addr
+	// Weight is the region's share of the segment's execution (weights are
+	// normalized over each segment; they need not sum to 1).
+	Weight float64
+	// MissRate is the fraction of iterations in which the span's loads
+	// miss the data cache (deterministic accumulator schedule, not random,
+	// so runs are bit-reproducible).
+	MissRate float64
+	// MissPenalty is the stall in cycles added to each missing load.
+	MissPenalty uint64
+	// HotspotIdx, when >= 0, marks the instruction index within the span
+	// that stalls HotspotStall extra cycles every iteration — a delinquent
+	// load. Moving HotspotIdx between segments reproduces the Figure 8
+	// "bottleneck shifts by one instruction" scenario.
+	HotspotIdx int
+	// HotspotStall is the per-iteration stall at HotspotIdx.
+	HotspotStall uint64
+}
+
+// Validate checks the behaviour against prog.
+func (rb *RegionBehavior) Validate(prog *isa.Program) error {
+	if rb.Start >= rb.End {
+		return fmt.Errorf("sim: region %v-%v is empty", rb.Start, rb.End)
+	}
+	if prog.BlockAt(rb.Start) == nil || prog.BlockAt(rb.End-isa.InstrBytes) == nil {
+		return fmt.Errorf("sim: region %v-%v is outside program text", rb.Start, rb.End)
+	}
+	if rb.Weight <= 0 {
+		return fmt.Errorf("sim: region %v-%v has non-positive weight %v", rb.Start, rb.End, rb.Weight)
+	}
+	if rb.MissRate < 0 || rb.MissRate > 1 {
+		return fmt.Errorf("sim: region %v-%v has miss rate %v outside [0,1]", rb.Start, rb.End, rb.MissRate)
+	}
+	n := int(rb.End-rb.Start) / isa.InstrBytes
+	if rb.HotspotIdx >= n {
+		return fmt.Errorf("sim: region %v-%v hotspot index %d outside %d instructions", rb.Start, rb.End, rb.HotspotIdx, n)
+	}
+	return nil
+}
+
+// Span returns the behaviour's address span as a LoopSpan-shaped value for
+// map keys and logging.
+func (rb *RegionBehavior) Span() Span { return Span{rb.Start, rb.End} }
+
+// Span is a half-open address range used as a comparable region key.
+type Span struct {
+	Start, End isa.Addr
+}
+
+// Name renders the paper's region-name convention.
+func (s Span) Name() string { return fmt.Sprintf("%v-%v", s.Start, s.End) }
+
+// Contains reports whether addr lies inside the span.
+func (s Span) Contains(addr isa.Addr) bool { return addr >= s.Start && addr < s.End }
+
+// Segment is a contiguous stretch of execution with fixed behaviour.
+type Segment struct {
+	// Name labels the segment in traces (optional).
+	Name string
+	// BaseCycles is the amount of work in the segment, measured in
+	// unoptimized cycles.
+	BaseCycles uint64
+	// SlicePeriod is the length, in base cycles, of one full round-robin
+	// pass over the segment's regions. Small values interleave regions
+	// finely (stable sample mix per interval); values near or above the
+	// sampling interval make consecutive intervals see different regions —
+	// the facerec behaviour that destabilizes GPD.
+	SlicePeriod uint64
+	// JitterFrac perturbs each region visit's length by up to ±JitterFrac
+	// (deterministic PRNG), modelling sampling-alignment noise. 0 disables.
+	JitterFrac float64
+	// Regions lists the active regions. At least one is required.
+	Regions []RegionBehavior
+}
+
+// Validate checks the segment against prog.
+func (s *Segment) Validate(prog *isa.Program) error {
+	if s.BaseCycles == 0 {
+		return fmt.Errorf("sim: segment %q has zero work", s.Name)
+	}
+	if s.SlicePeriod == 0 {
+		return fmt.Errorf("sim: segment %q has zero slice period", s.Name)
+	}
+	if s.JitterFrac < 0 || s.JitterFrac >= 1 {
+		return fmt.Errorf("sim: segment %q jitter %v outside [0,1)", s.Name, s.JitterFrac)
+	}
+	if len(s.Regions) == 0 {
+		return fmt.Errorf("sim: segment %q has no regions", s.Name)
+	}
+	for i := range s.Regions {
+		if err := s.Regions[i].Validate(prog); err != nil {
+			return fmt.Errorf("segment %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Schedule is a complete workload: segments executed in order, the whole
+// list repeated Repeat times (min 1).
+type Schedule struct {
+	// Name labels the workload (e.g. "181.mcf").
+	Name string
+	// Seed feeds the deterministic jitter PRNG.
+	Seed uint64
+	// Repeat re-runs the segment list this many times (0 and 1 both mean
+	// once). Periodic whole-program behaviour (mcf's drift cycles) is
+	// expressed this way.
+	Repeat int
+	// Segments is the segment list; must be non-empty.
+	Segments []Segment
+}
+
+// Validate checks the schedule against prog.
+func (sc *Schedule) Validate(prog *isa.Program) error {
+	if len(sc.Segments) == 0 {
+		return fmt.Errorf("sim: schedule %q has no segments", sc.Name)
+	}
+	for i := range sc.Segments {
+		if err := sc.Segments[i].Validate(prog); err != nil {
+			return fmt.Errorf("schedule %q: %w", sc.Name, err)
+		}
+	}
+	return nil
+}
+
+// TotalBaseCycles returns the schedule's total work.
+func (sc *Schedule) TotalBaseCycles() uint64 {
+	var t uint64
+	for i := range sc.Segments {
+		t += sc.Segments[i].BaseCycles
+	}
+	reps := sc.Repeat
+	if reps < 1 {
+		reps = 1
+	}
+	return t * uint64(reps)
+}
+
+// CostModel maps instruction kinds to base cycle costs.
+type CostModel struct {
+	// Costs[k] is the base cost of kind k; zero entries default to 1.
+	Costs [8]uint64
+}
+
+// DefaultCostModel returns SPARC-flavoured base costs: single-cycle integer
+// ops, two-cycle stores and control transfers, three-cycle floating point.
+func DefaultCostModel() CostModel {
+	var c CostModel
+	c.Costs[isa.KindALU] = 1
+	c.Costs[isa.KindLoad] = 1 // plus miss penalties from the behaviour
+	c.Costs[isa.KindStore] = 2
+	c.Costs[isa.KindFP] = 3
+	c.Costs[isa.KindBranch] = 1
+	c.Costs[isa.KindCall] = 2
+	c.Costs[isa.KindRet] = 2
+	c.Costs[isa.KindNop] = 1
+	return c
+}
+
+// Cost returns the base cost of kind k (minimum 1).
+func (c *CostModel) Cost(k isa.Kind) uint64 {
+	if int(k) < len(c.Costs) && c.Costs[k] > 0 {
+		return c.Costs[k]
+	}
+	return 1
+}

@@ -1,0 +1,394 @@
+package sim
+
+import (
+	"testing"
+
+	"regionmon/internal/hpm"
+	"regionmon/internal/isa"
+)
+
+// twoLoopProgram builds a program with two independent hot loops and
+// returns it with their spans.
+func twoLoopProgram(t testing.TB) (*isa.Program, isa.LoopSpan, isa.LoopSpan) {
+	t.Helper()
+	b := isa.NewBuilder(0x10000)
+	p := b.Proc("main")
+	p.Code(8, isa.KindALU)
+	l1 := p.Loop(16, []isa.Kind{isa.KindLoad, isa.KindALU, isa.KindALU, isa.KindALU}, nil)
+	p.Code(4, isa.KindALU)
+	l2 := p.Loop(24, []isa.Kind{isa.KindLoad, isa.KindALU, isa.KindStore, isa.KindALU}, nil)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog, l1, l2
+}
+
+func mustMonitor(t testing.TB, period uint64, size int, cb func(*hpm.Overflow)) *hpm.Monitor {
+	t.Helper()
+	if cb == nil {
+		cb = func(*hpm.Overflow) {}
+	}
+	m, err := hpm.New(hpm.Config{Period: period, BufferSize: size}, cb)
+	if err != nil {
+		t.Fatalf("hpm.New: %v", err)
+	}
+	return m
+}
+
+func simpleSchedule(l1, l2 isa.LoopSpan, work uint64) *Schedule {
+	return &Schedule{
+		Name: "test",
+		Seed: 1,
+		Segments: []Segment{{
+			Name:        "seg0",
+			BaseCycles:  work,
+			SlicePeriod: 2000,
+			Regions: []RegionBehavior{
+				{Start: l1.Start, End: l1.End, Weight: 0.7, MissRate: 0.5, MissPenalty: 20, HotspotIdx: -1},
+				{Start: l2.Start, End: l2.End, Weight: 0.3, MissRate: 0.1, MissPenalty: 20, HotspotIdx: -1},
+			},
+		}},
+	}
+}
+
+func TestExecutorRunsScheduleWork(t *testing.T) {
+	prog, l1, l2 := twoLoopProgram(t)
+	mon := mustMonitor(t, 500, 64, nil)
+	ex, err := NewExecutor(prog, simpleSchedule(l1, l2, 200_000), mon)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	res := ex.Run()
+	if res.BaseCycles < 200_000 {
+		t.Errorf("BaseCycles = %d; want >= 200000", res.BaseCycles)
+	}
+	// Base work overshoot is bounded by one iteration per visit.
+	if res.BaseCycles > 210_000 {
+		t.Errorf("BaseCycles = %d; overshoot too large", res.BaseCycles)
+	}
+	// No optimizations: actual == base.
+	if res.Cycles != res.BaseCycles {
+		t.Errorf("Cycles = %d; want == BaseCycles %d without optimization", res.Cycles, res.BaseCycles)
+	}
+	if res.Instrs == 0 {
+		t.Error("no instructions retired")
+	}
+}
+
+func TestSampleDistributionFollowsWeights(t *testing.T) {
+	prog, l1, l2 := twoLoopProgram(t)
+	var inL1, inL2, other int
+	mon := mustMonitor(t, 97, 128, func(ov *hpm.Overflow) {
+		for _, s := range ov.Samples {
+			switch {
+			case l1.Contains(s.PC):
+				inL1++
+			case l2.Contains(s.PC):
+				inL2++
+			default:
+				other++
+			}
+		}
+	})
+	ex, err := NewExecutor(prog, simpleSchedule(l1, l2, 3_000_000), mon)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	ex.Run()
+	mon.Flush()
+	total := inL1 + inL2 + other
+	if total == 0 {
+		t.Fatal("no samples captured")
+	}
+	f1 := float64(inL1) / float64(total)
+	// l1 has weight .7 of base cycles (stalls included), so its sample
+	// share should sit near 0.7 up to visit-granularity rounding.
+	if f1 < 0.62 || f1 > 0.78 {
+		t.Errorf("l1 sample share = %.3f; want ≈ 0.7", f1)
+	}
+	if other > total/100 {
+		t.Errorf("unattributed samples = %d of %d; want < 1%%", other, total)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prog, l1, l2 := twoLoopProgram(t)
+	run := func() (uint64, uint64, []isa.Addr) {
+		var pcs []isa.Addr
+		mon := mustMonitor(t, 211, 64, func(ov *hpm.Overflow) {
+			for _, s := range ov.Samples {
+				pcs = append(pcs, s.PC)
+			}
+		})
+		sched := simpleSchedule(l1, l2, 500_000)
+		sched.Segments[0].JitterFrac = 0.2
+		ex, err := NewExecutor(prog, sched, mon)
+		if err != nil {
+			t.Fatalf("NewExecutor: %v", err)
+		}
+		res := ex.Run()
+		return res.Cycles, res.Instrs, pcs
+	}
+	c1, i1, p1 := run()
+	c2, i2, p2 := run()
+	if c1 != c2 || i1 != i2 || len(p1) != len(p2) {
+		t.Fatalf("non-deterministic run: (%d,%d,%d) vs (%d,%d,%d)", c1, i1, len(p1), c2, i2, len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestOptimizationSavesCycles(t *testing.T) {
+	prog, l1, l2 := twoLoopProgram(t)
+
+	runWith := func(save float64) Result {
+		mon := mustMonitor(t, 500, 64, nil)
+		ex, err := NewExecutor(prog, simpleSchedule(l1, l2, 1_000_000), mon)
+		if err != nil {
+			t.Fatalf("NewExecutor: %v", err)
+		}
+		if save != 0 {
+			ex.SetOptimization(Span{l1.Start, l1.End}, save)
+		}
+		return ex.Run()
+	}
+
+	baseline := runWith(0)
+	optimized := runWith(0.5)
+	if baseline.BaseCycles != optimized.BaseCycles {
+		t.Fatalf("work differs: %d vs %d", baseline.BaseCycles, optimized.BaseCycles)
+	}
+	if optimized.Cycles >= baseline.Cycles {
+		t.Errorf("optimization did not save cycles: %d vs %d", optimized.Cycles, baseline.Cycles)
+	}
+	sp := optimized.Speedup(baseline)
+	if sp <= 0 || sp > 1 {
+		t.Errorf("speedup = %v; want in (0, 1]", sp)
+	}
+
+	harmful := runWith(-0.5) // negative save inflates stalls
+	if harmful.Cycles <= baseline.Cycles {
+		t.Errorf("harmful optimization did not cost cycles: %d vs %d", harmful.Cycles, baseline.Cycles)
+	}
+}
+
+func TestClearOptimization(t *testing.T) {
+	prog, l1, l2 := twoLoopProgram(t)
+	mon := mustMonitor(t, 500, 64, nil)
+	ex, err := NewExecutor(prog, simpleSchedule(l1, l2, 10_000), mon)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	span := Span{l1.Start, l1.End}
+	ex.SetOptimization(span, 0.5)
+	if n := len(ex.ActiveOptimizations()); n != 1 {
+		t.Fatalf("active = %d; want 1", n)
+	}
+	// Replacement, not duplication.
+	ex.SetOptimization(span, 0.7)
+	if n := len(ex.ActiveOptimizations()); n != 1 {
+		t.Fatalf("active after replace = %d; want 1", n)
+	}
+	if !ex.ClearOptimization(span) {
+		t.Error("ClearOptimization missed active span")
+	}
+	if ex.ClearOptimization(span) {
+		t.Error("double clear should report false")
+	}
+}
+
+func TestStallInjectsOverheadCycles(t *testing.T) {
+	prog, l1, l2 := twoLoopProgram(t)
+	mon := mustMonitor(t, 500, 64, nil)
+	ex, err := NewExecutor(prog, simpleSchedule(l1, l2, 10_000), mon)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	ex.Stall(12345)
+	res := ex.Run()
+	if res.Cycles != res.BaseCycles+12345 {
+		t.Errorf("Cycles = %d; want base %d + 12345", res.Cycles, res.BaseCycles)
+	}
+}
+
+func TestHotspotConcentratesSamples(t *testing.T) {
+	prog, l1, _ := twoLoopProgram(t)
+	hotIdx := 5
+	sched := &Schedule{
+		Name: "hot",
+		Segments: []Segment{{
+			BaseCycles:  2_000_000,
+			SlicePeriod: 1000,
+			Regions: []RegionBehavior{{
+				Start: l1.Start, End: l1.End, Weight: 1,
+				HotspotIdx: hotIdx, HotspotStall: 200,
+			}},
+		}},
+	}
+	counts := map[isa.Addr]int{}
+	mon := mustMonitor(t, 173, 128, func(ov *hpm.Overflow) {
+		for _, s := range ov.Samples {
+			counts[s.PC]++
+		}
+	})
+	ex, err := NewExecutor(prog, sched, mon)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	ex.Run()
+	mon.Flush()
+	hotAddr := l1.Start + isa.Addr(hotIdx*isa.InstrBytes)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no samples")
+	}
+	frac := float64(counts[hotAddr]) / float64(total)
+	// The hotspot stalls 200 of ~220 cycles per iteration; it must absorb
+	// the overwhelming majority of samples.
+	if frac < 0.8 {
+		t.Errorf("hotspot sample share = %.3f; want > 0.8", frac)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	prog, l1, _ := twoLoopProgram(t)
+	mon := mustMonitor(t, 500, 64, nil)
+	mk := func(mut func(*Schedule)) error {
+		s := &Schedule{
+			Name: "v",
+			Segments: []Segment{{
+				BaseCycles:  1000,
+				SlicePeriod: 100,
+				Regions:     []RegionBehavior{{Start: l1.Start, End: l1.End, Weight: 1, HotspotIdx: -1}},
+			}},
+		}
+		mut(s)
+		_, err := NewExecutor(prog, s, mon)
+		return err
+	}
+	cases := map[string]func(*Schedule){
+		"no segments":     func(s *Schedule) { s.Segments = nil },
+		"zero work":       func(s *Schedule) { s.Segments[0].BaseCycles = 0 },
+		"zero slice":      func(s *Schedule) { s.Segments[0].SlicePeriod = 0 },
+		"bad jitter":      func(s *Schedule) { s.Segments[0].JitterFrac = 1.5 },
+		"no regions":      func(s *Schedule) { s.Segments[0].Regions = nil },
+		"empty span":      func(s *Schedule) { s.Segments[0].Regions[0].End = s.Segments[0].Regions[0].Start },
+		"outside text":    func(s *Schedule) { s.Segments[0].Regions[0].Start = 0x1; s.Segments[0].Regions[0].End = 0x9 },
+		"zero weight":     func(s *Schedule) { s.Segments[0].Regions[0].Weight = 0 },
+		"bad miss rate":   func(s *Schedule) { s.Segments[0].Regions[0].MissRate = 1.5 },
+		"hotspot outside": func(s *Schedule) { s.Segments[0].Regions[0].HotspotIdx = 10_000 },
+	}
+	for name, mut := range cases {
+		if err := mk(mut); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	if _, err := NewExecutor(nil, nil, nil); err == nil {
+		t.Error("nil arguments should fail")
+	}
+}
+
+func TestMissRateSchedule(t *testing.T) {
+	prog, l1, _ := twoLoopProgram(t)
+	// MissRate 0.25: exactly one in four iterations misses. Count misses
+	// via the monitor's per-sample deltas over a long run.
+	sched := &Schedule{
+		Name: "miss",
+		Segments: []Segment{{
+			BaseCycles:  1_000_000,
+			SlicePeriod: 1000,
+			Regions: []RegionBehavior{{
+				Start: l1.Start, End: l1.End, Weight: 1,
+				MissRate: 0.25, MissPenalty: 10, HotspotIdx: -1,
+			}},
+		}},
+	}
+	var misses, instrs uint64
+	mon := mustMonitor(t, 1000, 64, func(ov *hpm.Overflow) {
+		for _, s := range ov.Samples {
+			misses += s.DCMisses
+			instrs += s.Instrs
+		}
+	})
+	ex, err := NewExecutor(prog, sched, mon)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	ex.Run()
+	mon.Flush()
+	if instrs == 0 {
+		t.Fatal("no instructions observed")
+	}
+	// l1 body: 16 instrs of pattern load,alu,alu,alu = 4 loads + latch 2.
+	// 18 instructions per iteration, 4 loads, miss every 4th iteration:
+	// expected misses/instr = 4/(18*4) ≈ 0.0556.
+	got := float64(misses) / float64(instrs)
+	want := 4.0 / 72.0
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("miss ratio = %v; want ≈ %v", got, want)
+	}
+}
+
+func TestSpanHelpers(t *testing.T) {
+	s := Span{0x100, 0x200}
+	if !s.Contains(0x100) || s.Contains(0x200) || s.Contains(0xff) {
+		t.Error("Span.Contains boundary behaviour wrong")
+	}
+	if s.Name() != "100-200" {
+		t.Errorf("Span.Name = %q", s.Name())
+	}
+}
+
+func TestScheduleTotals(t *testing.T) {
+	sc := &Schedule{
+		Repeat: 3,
+		Segments: []Segment{
+			{BaseCycles: 100},
+			{BaseCycles: 50},
+		},
+	}
+	if got := sc.TotalBaseCycles(); got != 450 {
+		t.Errorf("TotalBaseCycles = %d; want 450", got)
+	}
+	sc.Repeat = 0
+	if got := sc.TotalBaseCycles(); got != 150 {
+		t.Errorf("TotalBaseCycles (repeat 0) = %d; want 150", got)
+	}
+}
+
+func TestCostModelDefaults(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.Cost(isa.KindALU) != 1 || cm.Cost(isa.KindFP) != 3 {
+		t.Error("default costs wrong")
+	}
+	var zero CostModel
+	if zero.Cost(isa.KindALU) != 1 {
+		t.Error("zero cost model should clamp to 1")
+	}
+	if zero.Cost(isa.Kind(200)) != 1 {
+		t.Error("unknown kind should cost 1")
+	}
+}
+
+// BenchmarkExecutor measures simulated cycles per wall second, the number
+// that bounds every experiment sweep.
+func BenchmarkExecutor(b *testing.B) {
+	prog, l1, l2 := twoLoopProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mon, _ := hpm.New(hpm.Config{Period: 45_000, BufferSize: 256}, func(*hpm.Overflow) {})
+		ex, err := NewExecutor(prog, simpleSchedule(l1, l2, 10_000_000), mon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := ex.Run()
+		b.SetBytes(int64(res.Cycles / 1e6)) // "MB" = Mcycles, for ns/Mcycle readout
+	}
+}

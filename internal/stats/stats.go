@@ -1,0 +1,377 @@
+// Package stats provides the statistical primitives shared by the global
+// (centroid) and local (Pearson-correlation) phase detectors: correlation
+// coefficients over sample histograms, running mean/variance accumulators,
+// centroid computation over program-counter samples, and small order
+// statistics helpers.
+//
+// All functions are deterministic and allocation-conscious; the phase
+// detectors call them once per sample-buffer overflow, which in the paper's
+// configuration happens every few million simulated cycles.
+package stats
+
+import "math"
+
+// Pearson computes Pearson's coefficient of correlation r between two
+// equal-length sample vectors x and y. It is the similarity metric of the
+// paper's local phase detection (Section 3.2.1):
+//
+//	r = (Σxy − Σx·Σy/n) / sqrt((Σx² − (Σx)²/n)(Σy² − (Σy)²/n))
+//
+// The result lies in [-1, 1]. Values near 1 mean the two distributions of
+// samples across a region's instructions agree (same bottlenecks, possibly
+// scaled counts); values near 0 or negative indicate the bottleneck moved
+// and therefore a local phase change.
+//
+// If either vector has zero variance (all entries equal, including the
+// all-zero vector) the coefficient is undefined; Pearson returns 0 and
+// ok=false so callers can fall back to their no-information path, except
+// for the special case where both vectors are constant and element-wise
+// proportional, which returns r=1, ok=true (identical flat behaviour is
+// perfect agreement, not a phase change).
+func Pearson(x, y []int64) (r float64, ok bool) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0, false
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		xf, yf := float64(x[i]), float64(y[i])
+		sx += xf
+		sy += yf
+		sxx += xf * xf
+		syy += yf * yf
+		sxy += xf * yf
+	}
+	nf := float64(n)
+	vx := sxx - sx*sx/nf
+	vy := syy - sy*sy/nf
+	if vx <= 0 || vy <= 0 {
+		// Zero variance on one or both sides. Two constant vectors are
+		// perfectly correlated in the "same behaviour" sense the detector
+		// cares about.
+		if vx <= 0 && vy <= 0 {
+			return 1, true
+		}
+		return 0, false
+	}
+	r = (sxy - sx*sy/nf) / math.Sqrt(vx*vy)
+	// Guard against floating point drift pushing r marginally outside the
+	// legal range.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, true
+}
+
+// PearsonFloat is Pearson over float64 vectors; used by tests and by the
+// similarity-metric ablations.
+func PearsonFloat(x, y []float64) (r float64, ok bool) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0, false
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	nf := float64(n)
+	vx := sxx - sx*sx/nf
+	vy := syy - sy*sy/nf
+	if vx <= 0 || vy <= 0 {
+		if vx <= 0 && vy <= 0 {
+			return 1, true
+		}
+		return 0, false
+	}
+	r = (sxy - sx*sy/nf) / math.Sqrt(vx*vy)
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, true
+}
+
+// Manhattan returns the normalized Manhattan (L1) distance between two
+// sample vectors after normalizing each to a probability distribution.
+// The result lies in [0, 2] (0 = identical distributions). It is one of the
+// "cheaper means of measuring similarity" the paper's Section 5 proposes to
+// investigate; internal/lpd exposes it as an alternative similarity metric.
+func Manhattan(x, y []int64) float64 {
+	var tx, ty int64
+	for _, v := range x {
+		tx += v
+	}
+	for _, v := range y {
+		ty += v
+	}
+	if tx == 0 && ty == 0 {
+		return 0
+	}
+	if tx == 0 || ty == 0 {
+		return 2
+	}
+	var d float64
+	for i := range x {
+		d += math.Abs(float64(x[i])/float64(tx) - float64(y[i])/float64(ty))
+	}
+	return d
+}
+
+// TopKOverlap returns the fraction of overlap between the index sets of the
+// k largest entries of x and y (1 = same hot instructions, 0 = disjoint).
+// It is the second cheap similarity metric used in the ablation study.
+// k is clamped to len(x). Ties are broken by lower index.
+func TopKOverlap(x, y []int64, k int) float64 {
+	if len(x) != len(y) || len(x) == 0 || k <= 0 {
+		return 0
+	}
+	if k > len(x) {
+		k = len(x)
+	}
+	xs := topKIndices(x, k)
+	ys := topKIndices(y, k)
+	inY := make(map[int]struct{}, k)
+	for _, i := range ys {
+		inY[i] = struct{}{}
+	}
+	overlap := 0
+	for _, i := range xs {
+		if _, ok := inY[i]; ok {
+			overlap++
+		}
+	}
+	return float64(overlap) / float64(k)
+}
+
+// topKIndices returns the indices of the k largest values in v.
+// Simple selection; k is small (typically <= 16) in detector use.
+func topKIndices(v []int64, k int) []int {
+	idx := make([]int, 0, k)
+	used := make([]bool, len(v))
+	for j := 0; j < k; j++ {
+		best := -1
+		for i, val := range v {
+			if used[i] {
+				continue
+			}
+			if best == -1 || val > v[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v (0 for fewer than
+// two elements). The centroid detector's band of stability uses population
+// (not sample) deviation, matching "standard deviation value (SD) of these
+// centroids" over the full history window.
+func StdDev(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Median returns the median of v without modifying it. For an even count it
+// returns the mean of the two central elements. Returns 0 for empty input.
+func Median(v []float64) float64 {
+	n := len(v)
+	if n == 0 {
+		return 0
+	}
+	c := make([]float64, n)
+	copy(c, v)
+	insertionSort(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+func insertionSort(v []float64) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
+// Running accumulates a stream of observations and yields mean, variance and
+// standard deviation in O(1) per observation (Welford's algorithm). The
+// centroid history uses a bounded variant (see Window); Running backs
+// whole-run summaries such as per-benchmark UCR statistics.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations added.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (0 before any observation).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the running population variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Window is a fixed-capacity sliding window of float64 observations with
+// O(1) amortized mean and standard deviation. The GPD centroid history is a
+// Window: the paper's detector keeps "a history of such centroids" and
+// derives the band of stability from their expectation and deviation.
+type Window struct {
+	buf  []float64
+	head int
+	n    int
+	sum  float64
+	sum2 float64
+}
+
+// NewWindow returns a window holding at most capacity observations.
+// NewWindow panics if capacity < 1: a zero-size history cannot define a
+// band of stability and indicates a configuration bug.
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		panic("stats: window capacity must be >= 1")
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Add appends an observation, evicting the oldest when full.
+func (w *Window) Add(x float64) {
+	if w.n == len(w.buf) {
+		old := w.buf[w.head]
+		w.sum -= old
+		w.sum2 -= old * old
+	} else {
+		w.n++
+	}
+	w.buf[w.head] = x
+	w.head = (w.head + 1) % len(w.buf)
+	w.sum += x
+	w.sum2 += x * x
+}
+
+// Len returns the current number of observations in the window.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Full reports whether the window holds capacity observations.
+func (w *Window) Full() bool { return w.n == len(w.buf) }
+
+// Reset empties the window.
+func (w *Window) Reset() {
+	w.head, w.n, w.sum, w.sum2 = 0, 0, 0, 0
+}
+
+// Mean returns the mean of the windowed observations (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// StdDev returns the population standard deviation of the windowed
+// observations. To avoid catastrophic cancellation drift over very long
+// runs it recomputes exactly from the buffer whenever the cheap two-pass
+// estimate goes (impossibly) negative.
+func (w *Window) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	m := w.Mean()
+	v := w.sum2/float64(w.n) - m*m
+	if v < 0 {
+		// Recompute exactly; the incremental sums drifted.
+		var s float64
+		for i := 0; i < w.n; i++ {
+			x := w.buf[(w.head-w.n+i+len(w.buf))%len(w.buf)]
+			d := x - m
+			s += d * d
+		}
+		v = s / float64(w.n)
+	}
+	return math.Sqrt(v)
+}
+
+// Values appends the windowed observations, oldest first, to dst and
+// returns the extended slice.
+func (w *Window) Values(dst []float64) []float64 {
+	for i := 0; i < w.n; i++ {
+		dst = append(dst, w.buf[(w.head-w.n+i+len(w.buf))%len(w.buf)])
+	}
+	return dst
+}
+
+// Centroid returns the mean of a set of program-counter values, the
+// aggregate metric at the heart of global phase detection: "the average
+// value of program counter obtained by sampling ... does not deviate much;
+// when it does deviate, it often indicates a phase change".
+// Returns 0 for an empty set.
+func Centroid(pcs []uint64) float64 {
+	if len(pcs) == 0 {
+		return 0
+	}
+	// Sum in float64: PC values fit in 52-bit mantissa comfortably for the
+	// simulated address space (< 2^40), and even real 64-bit address spaces
+	// lose at most a few ULPs, far below the detector's thresholds.
+	var s float64
+	for _, pc := range pcs {
+		s += float64(pc)
+	}
+	return s / float64(len(pcs))
+}

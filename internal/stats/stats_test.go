@@ -1,0 +1,348 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPearsonPerfectPositive(t *testing.T) {
+	x := []int64{1, 2, 3, 4, 5}
+	y := []int64{2, 4, 6, 8, 10}
+	r, ok := Pearson(x, y)
+	if !ok || !almost(r, 1, 1e-12) {
+		t.Fatalf("Pearson(x, 2x) = %v, %v; want 1, true", r, ok)
+	}
+}
+
+func TestPearsonPerfectNegative(t *testing.T) {
+	x := []int64{1, 2, 3, 4, 5}
+	y := []int64{10, 8, 6, 4, 2}
+	r, ok := Pearson(x, y)
+	if !ok || !almost(r, -1, 1e-12) {
+		t.Fatalf("Pearson(x, -x) = %v, %v; want -1, true", r, ok)
+	}
+}
+
+// TestPearsonBottleneckShift reproduces the paper's Figure 8: shifting a
+// single-instruction bottleneck by one position destroys the correlation
+// (r close to zero), while scaling all counts by a constant keeps r near 1.
+func TestPearsonBottleneckShift(t *testing.T) {
+	original := []int64{10, 10, 10, 350, 10, 10, 10, 10, 10, 10}
+	shifted := []int64{10, 10, 10, 10, 350, 10, 10, 10, 10, 10}
+	scaled := make([]int64, len(original))
+	for i, v := range original {
+		scaled[i] = v*3 + 2 // more samples, similar frequencies
+	}
+
+	r, ok := Pearson(original, shifted)
+	if !ok {
+		t.Fatal("Pearson(original, shifted) undefined")
+	}
+	if math.Abs(r) > 0.2 {
+		t.Errorf("shifted bottleneck r = %v; want |r| near 0 (paper: -0.056)", r)
+	}
+
+	r, ok = Pearson(original, scaled)
+	if !ok {
+		t.Fatal("Pearson(original, scaled) undefined")
+	}
+	if r < 0.99 {
+		t.Errorf("scaled distribution r = %v; want near 1 (paper: 0.998)", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	flat := []int64{5, 5, 5, 5}
+	vary := []int64{1, 2, 3, 4}
+	if _, ok := Pearson(flat, vary); ok {
+		t.Error("Pearson(flat, varying) should be undefined")
+	}
+	if _, ok := Pearson(vary, flat); ok {
+		t.Error("Pearson(varying, flat) should be undefined")
+	}
+	r, ok := Pearson(flat, []int64{7, 7, 7, 7})
+	if !ok || r != 1 {
+		t.Errorf("Pearson(flat, flat) = %v, %v; want 1, true", r, ok)
+	}
+	zero := []int64{0, 0, 0, 0}
+	r, ok = Pearson(zero, zero)
+	if !ok || r != 1 {
+		t.Errorf("Pearson(zero, zero) = %v, %v; want 1, true", r, ok)
+	}
+}
+
+func TestPearsonLengthMismatch(t *testing.T) {
+	if _, ok := Pearson([]int64{1, 2}, []int64{1, 2, 3}); ok {
+		t.Error("mismatched lengths should be undefined")
+	}
+	if _, ok := Pearson(nil, nil); ok {
+		t.Error("empty vectors should be undefined")
+	}
+}
+
+// Property: r is symmetric, bounded, and invariant under positive affine
+// transforms of either argument.
+func TestPearsonProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 42))
+		n := 2 + r.IntN(30)
+		x := make([]int64, n)
+		y := make([]int64, n)
+		for i := range x {
+			x[i] = int64(r.IntN(1000))
+			y[i] = int64(r.IntN(1000))
+		}
+		rxy, okxy := Pearson(x, y)
+		ryx, okyx := Pearson(y, x)
+		if okxy != okyx {
+			return false
+		}
+		if !okxy {
+			return true
+		}
+		if !almost(rxy, ryx, 1e-9) {
+			return false
+		}
+		if rxy < -1 || rxy > 1 {
+			return false
+		}
+		// Affine transform: y' = 3y + 7 preserves r.
+		y2 := make([]int64, n)
+		for i := range y {
+			y2[i] = 3*y[i] + 7
+		}
+		r2, ok2 := Pearson(x, y2)
+		if ok2 != okxy {
+			return false
+		}
+		return almost(rxy, r2, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("Pearson property violated: %v", err)
+	}
+}
+
+func TestPearsonFloatMatchesInt(t *testing.T) {
+	x := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	y := []int64{2, 7, 1, 8, 2, 8, 1, 8}
+	xf := make([]float64, len(x))
+	yf := make([]float64, len(y))
+	for i := range x {
+		xf[i], yf[i] = float64(x[i]), float64(y[i])
+	}
+	ri, oki := Pearson(x, y)
+	rf, okf := PearsonFloat(xf, yf)
+	if oki != okf || !almost(ri, rf, 1e-12) {
+		t.Errorf("int/float Pearson disagree: %v,%v vs %v,%v", ri, oki, rf, okf)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	x := []int64{10, 0, 0}
+	if d := Manhattan(x, x); d != 0 {
+		t.Errorf("Manhattan(x,x) = %v; want 0", d)
+	}
+	y := []int64{0, 0, 10}
+	if d := Manhattan(x, y); !almost(d, 2, 1e-12) {
+		t.Errorf("Manhattan(disjoint) = %v; want 2", d)
+	}
+	// Scaling invariance after normalization.
+	x2 := []int64{20, 0, 0}
+	if d := Manhattan(x, x2); d != 0 {
+		t.Errorf("Manhattan(x, 2x) = %v; want 0", d)
+	}
+	if d := Manhattan([]int64{0, 0}, []int64{0, 0}); d != 0 {
+		t.Errorf("Manhattan(zero, zero) = %v; want 0", d)
+	}
+	if d := Manhattan([]int64{0, 0}, []int64{1, 0}); d != 2 {
+		t.Errorf("Manhattan(zero, nonzero) = %v; want 2", d)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	x := []int64{100, 90, 80, 1, 2, 3}
+	y := []int64{95, 85, 75, 3, 2, 1}
+	if o := TopKOverlap(x, y, 3); o != 1 {
+		t.Errorf("TopKOverlap same-hot = %v; want 1", o)
+	}
+	z := []int64{1, 2, 3, 100, 90, 80}
+	if o := TopKOverlap(x, z, 3); o != 0 {
+		t.Errorf("TopKOverlap disjoint-hot = %v; want 0", o)
+	}
+	if o := TopKOverlap(x, y, 100); o < 0 || o > 1 {
+		t.Errorf("TopKOverlap clamped k out of range: %v", o)
+	}
+	if o := TopKOverlap(x, y, 0); o != 0 {
+		t.Errorf("TopKOverlap k=0 = %v; want 0", o)
+	}
+	if o := TopKOverlap([]int64{1}, []int64{1, 2}, 1); o != 0 {
+		t.Errorf("TopKOverlap mismatched lengths = %v; want 0", o)
+	}
+}
+
+func TestMeanStdDevMedian(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %v; want 5", m)
+	}
+	if s := StdDev(v); !almost(s, 2, 1e-12) {
+		t.Errorf("StdDev = %v; want 2", s)
+	}
+	if m := Median(v); !almost(m, 4.5, 1e-12) {
+		t.Errorf("Median = %v; want 4.5", m)
+	}
+	odd := []float64{3, 1, 2}
+	if m := Median(odd); m != 2 {
+		t.Errorf("Median odd = %v; want 2", m)
+	}
+	// Median must not mutate its argument.
+	if odd[0] != 3 || odd[1] != 1 || odd[2] != 2 {
+		t.Errorf("Median mutated input: %v", odd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-input statistics should be 0")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element StdDev should be 0")
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d; want 8", r.N())
+	}
+	if !almost(r.Mean(), 5, 1e-12) {
+		t.Errorf("Running.Mean = %v; want 5", r.Mean())
+	}
+	if !almost(r.StdDev(), 2, 1e-12) {
+		t.Errorf("Running.StdDev = %v; want 2", r.StdDev())
+	}
+	var empty Running
+	if empty.Mean() != 0 || empty.Variance() != 0 {
+		t.Error("empty Running should report zeros")
+	}
+}
+
+// Property: Running matches the two-pass Mean/StdDev on random streams.
+func TestRunningMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.IntN(200)
+		v := make([]float64, n)
+		var r Running
+		for i := range v {
+			v[i] = rng.Float64()*1000 - 500
+			r.Add(v[i])
+		}
+		if !almost(r.Mean(), Mean(v), 1e-9) {
+			t.Fatalf("trial %d: running mean %v != %v", trial, r.Mean(), Mean(v))
+		}
+		if !almost(r.StdDev(), StdDev(v), 1e-9) {
+			t.Fatalf("trial %d: running stddev %v != %v", trial, r.StdDev(), StdDev(v))
+		}
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Cap() != 3 || w.Len() != 0 || w.Full() {
+		t.Fatal("fresh window misreports shape")
+	}
+	w.Add(1)
+	w.Add(2)
+	w.Add(3)
+	if !w.Full() || !almost(w.Mean(), 2, 1e-12) {
+		t.Fatalf("window [1 2 3]: mean = %v", w.Mean())
+	}
+	w.Add(4) // evicts 1
+	if !almost(w.Mean(), 3, 1e-12) {
+		t.Fatalf("window [2 3 4]: mean = %v", w.Mean())
+	}
+	got := w.Values(nil)
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v; want %v", got, want)
+		}
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Error("Reset did not clear window")
+	}
+}
+
+func TestWindowPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindow(0) should panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+// Property: a sliding window's mean/stddev equal the two-pass statistics of
+// the last capacity observations.
+func TestWindowMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 50; trial++ {
+		capacity := 1 + rng.IntN(20)
+		w := NewWindow(capacity)
+		var all []float64
+		n := capacity + rng.IntN(100)
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * 1e6
+			w.Add(x)
+			all = append(all, x)
+		}
+		tail := all
+		if len(tail) > capacity {
+			tail = tail[len(tail)-capacity:]
+		}
+		if !almost(w.Mean(), Mean(tail), 1e-6*(1+math.Abs(Mean(tail)))) {
+			t.Fatalf("trial %d: window mean %v != %v", trial, w.Mean(), Mean(tail))
+		}
+		if !almost(w.StdDev(), StdDev(tail), 1e-5*(1+StdDev(tail))) {
+			t.Fatalf("trial %d: window stddev %v != %v", trial, w.StdDev(), StdDev(tail))
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if c := Centroid(nil); c != 0 {
+		t.Errorf("Centroid(nil) = %v; want 0", c)
+	}
+	pcs := []uint64{100, 200, 300}
+	if c := Centroid(pcs); !almost(c, 200, 1e-12) {
+		t.Errorf("Centroid = %v; want 200", c)
+	}
+}
+
+func TestMedianLargeRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	v := make([]float64, 999)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	m := Median(v)
+	// Count how many are below/above; a true median splits evenly.
+	var below, above int
+	for _, x := range v {
+		if x < m {
+			below++
+		} else if x > m {
+			above++
+		}
+	}
+	if below > len(v)/2 || above > len(v)/2 {
+		t.Errorf("median %v splits %d below / %d above", m, below, above)
+	}
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defs is the synthetic SPEC CPU2000 suite. Parameters are tuned to the
+// per-benchmark behaviour the paper reports (see the package comment);
+// absolute magnitudes are simulator-scale, not UltraSPARC-scale.
+var defs = map[string]def{
+	"164.gzip": {
+		name: "164.gzip", seed: 164, arch: archSteady,
+		loops: 6, body: 40, straightFrac: 0.12,
+		missRate: 0.20, missPenalty: 40, workG: 8, save: 0.20,
+		desc: "integer compressor: few hot loops, steady behaviour",
+	},
+	"168.wupwise": {
+		name: "168.wupwise", seed: 168, arch: archSteady,
+		loops: 8, body: 48, straightFrac: 0.08,
+		missRate: 0.15, missPenalty: 40, workG: 8, save: 0.25,
+		desc: "FP solver: steady loop nest execution",
+	},
+	"171.swim": {
+		name: "171.swim", seed: 171, arch: archSteady,
+		loops: 4, body: 64, straightFrac: 0.05,
+		missRate: 0.25, missPenalty: 50, workG: 8, save: 0.25,
+		desc: "stencil code: four dominant loops, single phase",
+	},
+	"172.mgrid": {
+		name: "172.mgrid", seed: 172, arch: archSteady,
+		loops: 3, body: 80, straightFrac: 0.05,
+		missRate: 0.30, missPenalty: 50, workG: 8, save: 0.30,
+		desc: "multigrid: three dominant loops, single phase, prefetch-friendly",
+	},
+	"173.applu": {
+		name: "173.applu", seed: 173, arch: archSteady,
+		loops: 8, body: 56, straightFrac: 0.06,
+		missRate: 0.20, missPenalty: 45, workG: 8, save: 0.25,
+		desc: "PDE solver: steady multi-loop execution",
+	},
+	"175.vpr": {
+		name: "175.vpr", seed: 175, arch: archDrift,
+		loops: 10, body: 36, straightFrac: 0.15,
+		missRate: 0.15, missPenalty: 40, workG: 9, eraM: 400, save: 0.20,
+		desc: "place-and-route: dominant loop drifts between placement phases",
+	},
+	"176.gcc": {
+		name: "176.gcc", seed: 176, arch: archMany,
+		loops: 250, body: 24, straightFrac: 0.20,
+		missRate: 0.10, missPenalty: 35, workG: 8, eraM: 150, save: 0.15,
+		desc: "compiler: hundreds of small regions; monitoring-cost stress case",
+	},
+	"177.mesa": {
+		name: "177.mesa", seed: 177, arch: archSteady,
+		loops: 12, body: 32, straightFrac: 0.10,
+		missRate: 0.10, missPenalty: 30, workG: 8, save: 0.15,
+		desc: "3D renderer: steady mixed loops",
+	},
+	"178.galgel": {
+		name: "178.galgel", seed: 178, arch: archDrift,
+		loops: 10, body: 48, straightFrac: 0.05,
+		missRate: 0.20, missPenalty: 45, workG: 9, eraM: 500, save: 0.25,
+		desc: "fluid dynamics: solver phases with drifting dominance",
+	},
+	"179.art": {
+		name: "179.art", seed: 179, arch: archSteady,
+		loops: 4, body: 48, straightFrac: 0.05,
+		missRate: 0.50, missPenalty: 80, workG: 8, save: 0.45,
+		desc: "neural-net simulator: tiny working set of loops, heavy misses",
+	},
+	"181.mcf": {
+		name: "181.mcf", seed: 181, arch: archDrift,
+		loops: 6, body: 28, straightFrac: 0.08,
+		missRate: 0.50, missPenalty: 80, workG: 12, eraM: 2500, altM: 50, save: 0.50,
+		desc: "network simplex: era-scale region drift then a periodic tail; " +
+			"locally stable regions, globally swinging centroid (Figs 2, 9, 10)",
+	},
+	"183.equake": {
+		name: "183.equake", seed: 183, arch: archSteady,
+		loops: 6, body: 40, straightFrac: 0.08,
+		missRate: 0.35, missPenalty: 60, workG: 8, save: 0.30,
+		desc: "earthquake simulation: steady sparse-matrix loops",
+	},
+	"186.crafty": {
+		name: "186.crafty", seed: 186, arch: archHighUCR,
+		loops: 60, body: 20, straightFrac: 0.45,
+		missRate: 0.12, missPenalty: 35, workG: 9, eraM: 300, save: 0.15,
+		desc: "chess engine: search code the region builder cannot cover; " +
+			"UCR stays high across formation triggers (Fig 7)",
+	},
+	"187.facerec": {
+		name: "187.facerec", seed: 187, arch: archAlternate,
+		loops: 6, body: 40, straightFrac: 0.06,
+		missRate: 0.30, missPenalty: 50, workG: 10, altM: 300, save: 0.35,
+		desc: "face recognition: periodic switching between two region sets " +
+			"at interval scale (Fig 5)",
+	},
+	"188.ammp": {
+		name: "188.ammp", seed: 188, arch: archHuge,
+		loops: 2, body: 280, straightFrac: 0.05,
+		missRate: 0.30, missPenalty: 45, workG: 9, save: 0.30,
+		desc: "molecular dynamics: one huge region; Pearson r hovers below " +
+			"the threshold (the Sec. 3.2.2 granularity breakdown)",
+	},
+	"189.lucas": {
+		name: "189.lucas", seed: 189, arch: archSteady,
+		loops: 6, body: 52, straightFrac: 0.05,
+		missRate: 0.25, missPenalty: 50, workG: 8, save: 0.25,
+		desc: "primality FFT: steady loop execution",
+	},
+	"191.fma3d": {
+		name: "191.fma3d", seed: 191, arch: archMany,
+		loops: 120, body: 28, straightFrac: 0.15,
+		missRate: 0.20, missPenalty: 45, workG: 10, eraM: 200, save: 0.35,
+		desc: "crash simulation: many element-processing loops with era " +
+			"reshuffles; a paper speedup case",
+	},
+	"197.parser": {
+		name: "197.parser", seed: 197, arch: archMany,
+		loops: 150, body: 20, straightFrac: 0.25,
+		missRate: 0.12, missPenalty: 35, workG: 9, eraM: 150, save: 0.15,
+		desc: "link parser: many small regions plus dictionary code in UCR",
+	},
+	"200.sixtrack": {
+		name: "200.sixtrack", seed: 200, arch: archSteady,
+		loops: 10, body: 44, straightFrac: 0.08,
+		missRate: 0.15, missPenalty: 40, workG: 8, save: 0.20,
+		desc: "particle tracking: steady loop nest",
+	},
+	"254.gap": {
+		name: "254.gap", seed: 254, arch: archHighUCR,
+		loops: 5, body: 32, straightFrac: 0.45,
+		missRate: 0.20, missPenalty: 45, workG: 10, eraM: 60, flaky: true, save: 0.35,
+		desc: "computer algebra: interpreter code in UCR, fast era churn, " +
+			"one stable and one flaky region (Figs 7, 11, 13)",
+	},
+	"255.vortex": {
+		name: "255.vortex", seed: 255, arch: archMany,
+		loops: 100, body: 24, straightFrac: 0.30,
+		missRate: 0.10, missPenalty: 35, workG: 9, eraM: 250, save: 0.15,
+		desc: "OO database: many regions and substantial UCR",
+	},
+	"256.bzip2": {
+		name: "256.bzip2", seed: 256, arch: archMany,
+		loops: 80, body: 32, straightFrac: 0.20,
+		missRate: 0.15, missPenalty: 40, workG: 9, eraM: 200, save: 0.25,
+		desc: "compressor: many regions, compress/decompress reshuffles",
+	},
+	"300.twolf": {
+		name: "300.twolf", seed: 300, arch: archSteady,
+		loops: 12, body: 36, straightFrac: 0.12,
+		missRate: 0.20, missPenalty: 45, workG: 8, save: 0.25,
+		desc: "place-and-route: steady annealing loops",
+	},
+	"301.apsi": {
+		name: "301.apsi", seed: 301, arch: archMany,
+		loops: 90, body: 28, straightFrac: 0.15,
+		missRate: 0.15, missPenalty: 40, workG: 9, eraM: 300, save: 0.20,
+		desc: "meteorology: many loops; a monitoring-cost case",
+	},
+}
+
+// Names returns the suite's benchmark names in ascending SPEC order.
+func Names() []string {
+	out := make([]string, 0, len(defs))
+	for n := range defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fig3Names returns the 21 benchmarks of Figures 3 and 4 (the paper
+// excludes the short-running 164.gzip and 176.gcc there, and 179.art).
+func Fig3Names() []string {
+	var out []string
+	for _, n := range Names() {
+		switch n {
+		case "164.gzip", "176.gcc", "179.art":
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// ByName builds one benchmark at the given scale: both run length and the
+// phase structure's time constants shrink together, so the dynamics at
+// proportionally reduced sampling periods are identical to full scale
+// (1 = ~10G base cycles at the paper's periods).
+func ByName(name string, scale float64) (*Benchmark, error) {
+	return ByNameScales(name, scale, scale)
+}
+
+// ByNameScales builds one benchmark with independent run-length
+// (workScale) and phase-structure (timeScale) scaling; see def.build.
+func ByNameScales(name string, workScale, timeScale float64) (*Benchmark, error) {
+	d, ok := defs[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return d.build(workScale, timeScale)
+}
+
+// Suite builds every benchmark at the given work scale, in SPEC order.
+func Suite(workScale float64) ([]*Benchmark, error) {
+	names := Names()
+	out := make([]*Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := ByName(n, workScale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+
+	"regionmon/internal/isa"
+)
+
+// TestArchetypeStructure pins the structural properties each archetype's
+// figures depend on.
+func TestArchetypeStructure(t *testing.T) {
+	t.Run("mcf drift with periodic tail", func(t *testing.T) {
+		b, err := ByName("181.mcf", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Eras followed by alternating tail segments.
+		var eras, tails int
+		for _, s := range b.Sched.Segments {
+			switch {
+			case len(s.Name) >= 3 && s.Name[:3] == "era":
+				eras++
+			case len(s.Name) >= 4 && s.Name[:4] == "tail":
+				tails++
+			}
+		}
+		if eras < 2 {
+			t.Errorf("mcf eras = %d; want >= 2", eras)
+		}
+		if tails < 2 || tails%2 != 0 {
+			t.Errorf("mcf tail segments = %d; want even and >= 2", tails)
+		}
+		// One loop per procedure for centroid geometry.
+		for _, p := range b.Prog.Procs {
+			if len(p.Loops()) > 1 {
+				t.Errorf("mcf proc %s has %d loops; want <= 1", p.Name, len(p.Loops()))
+			}
+		}
+	})
+
+	t.Run("facerec disjoint sets", func(t *testing.T) {
+		b, err := ByName("187.facerec", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Sched.Segments) != 2 || b.Sched.Repeat < 2 {
+			t.Fatalf("facerec structure: %d segments, repeat %d", len(b.Sched.Segments), b.Sched.Repeat)
+		}
+		// The two segments' loop regions must be disjoint sets.
+		inA := map[isa.Addr]bool{}
+		for _, r := range b.Sched.Segments[0].Regions {
+			inA[r.Start] = true
+		}
+		for _, r := range b.Sched.Segments[1].Regions {
+			if inA[r.Start] && !straightStart(b, r.Start) {
+				t.Errorf("region %v appears in both alternation sets", r.Start)
+			}
+		}
+	})
+
+	t.Run("gap flaky bottleneck moves", func(t *testing.T) {
+		b, err := ByName("254.gap", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flaky := b.HotLoops[len(b.HotLoops)-1]
+		hotspots := map[int]bool{}
+		for _, s := range b.Sched.Segments {
+			for _, r := range s.Regions {
+				if r.Start == flaky.Start && r.Weight > 0.01 {
+					hotspots[r.HotspotIdx] = true
+				}
+			}
+		}
+		if len(hotspots) < 3 {
+			t.Errorf("flaky region hotspot positions = %d; want several", len(hotspots))
+		}
+	})
+
+	t.Run("stable loops keep behaviour across segments", func(t *testing.T) {
+		b, err := ByName("181.mcf", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each loop's miss rate and hotspot must be identical in every
+		// segment (locally stable regions — the Figure 10 property).
+		type behav struct {
+			miss float64
+			hot  int
+		}
+		seen := map[isa.Addr]behav{}
+		for _, s := range b.Sched.Segments {
+			for _, r := range s.Regions {
+				if straightStart(b, r.Start) {
+					continue
+				}
+				want, ok := seen[r.Start]
+				if !ok {
+					seen[r.Start] = behav{r.MissRate, r.HotspotIdx}
+					continue
+				}
+				if want.miss != r.MissRate || want.hot != r.HotspotIdx {
+					t.Fatalf("loop %v behaviour varies across segments: %+v vs {%v %d}",
+						r.Start, want, r.MissRate, r.HotspotIdx)
+				}
+			}
+		}
+	})
+
+	t.Run("ammp huge region pinned", func(t *testing.T) {
+		b, err := ByName("188.ammp", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.HotLoops) != 2 {
+			t.Fatalf("ammp loops = %d; want 2", len(b.HotLoops))
+		}
+		huge, small := b.HotLoops[0], b.HotLoops[1]
+		if huge.NumInstrs() < 250 {
+			t.Errorf("ammp huge region = %d instrs; want the calibrated ~280+", huge.NumInstrs())
+		}
+		if small.NumInstrs() >= huge.NumInstrs() {
+			t.Errorf("companion (%d) not smaller than huge (%d)", small.NumInstrs(), huge.NumInstrs())
+		}
+	})
+}
+
+// straightStart reports whether addr starts one of the benchmark's
+// straight spans.
+func straightStart(b *Benchmark, addr isa.Addr) bool {
+	for _, s := range b.Straight {
+		if s.Start == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// TestScalesIndependence: work scale changes run length without touching
+// the program or per-loop behaviour; time scale changes segment lengths.
+func TestScalesIndependence(t *testing.T) {
+	short, err := ByNameScales("172.mgrid", 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := ByNameScales("172.mgrid", 0.04, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Prog.NumInstrs() != long.Prog.NumInstrs() {
+		t.Error("work scale changed the program")
+	}
+	if got, want := long.Sched.TotalBaseCycles(), 4*short.Sched.TotalBaseCycles(); got != want {
+		t.Errorf("4x work scale: total %d; want %d", got, want)
+	}
+	if _, err := ByNameScales("172.mgrid", 0.01, 0); err == nil {
+		t.Error("zero time scale accepted")
+	}
+}

@@ -1,0 +1,548 @@
+// Package workload defines the synthetic SPEC CPU2000 suite this
+// reproduction runs in place of native SPARC binaries. Each benchmark is a
+// generated program (procedures, natural loop nests, straight-line code
+// spread over a realistic address range) plus a phase schedule tuned to
+// the qualitative behaviour the paper reports for that program:
+//
+//   - 181.mcf: long eras in which the dominant region drifts, followed by
+//     a periodic tail alternating between two region sets (Figures 2, 9,
+//     10); each region's internal behaviour never changes, so local phase
+//     detection sees stability where the centroid swings.
+//   - 187.facerec: execution "periodically switches between 2 sets of
+//     regions" at a period comparable to the sampling interval (Figure 5).
+//   - 254.gap / 186.crafty: large fractions of execution in code the
+//     region builder cannot cover (straight-line and cross-procedure
+//     code), so the UCR stays hot across formation triggers (Figures 6,
+//     7); gap additionally has one stable and one flaky region
+//     (Figure 11) plus a short-lived region with a moving bottleneck (the
+//     120-phase-change outlier of Figure 13).
+//   - 188.ammp: one huge region whose per-instruction histogram is so
+//     spread out that Pearson r hovers just below the 0.8 threshold —
+//     the granularity breakdown of Section 3.2.2.
+//   - 176.gcc, 191.fma3d, 197.parser, 255.vortex, 256.bzip2, 301.apsi,
+//     186.crafty: many monitored regions, driving the monitoring-cost and
+//     interval-tree results (Figures 15, 16).
+//   - the floating-point codes (swim, mgrid, applu, ...): steady single-
+//     phase behaviour.
+//
+// All generation is deterministic per benchmark seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"regionmon/internal/isa"
+	"regionmon/internal/sim"
+)
+
+// Benchmark is one synthetic SPEC CPU2000 program ready to run.
+type Benchmark struct {
+	// Name is the SPEC-style name, e.g. "181.mcf".
+	Name string
+	// Prog is the synthetic binary.
+	Prog *isa.Program
+	// Sched is the phase schedule.
+	Sched *sim.Schedule
+	// HotLoops lists the program's hot loop spans (build order).
+	HotLoops []isa.LoopSpan
+	// Straight lists non-loop spans that execute but can never become
+	// regions (the persistent-UCR code).
+	Straight []sim.Span
+	// PrefetchSave is the true effectiveness of the simulated prefetching
+	// optimization on this benchmark's regions (fraction of stall cycles
+	// removed while a region is patched).
+	PrefetchSave float64
+	// Description summarizes the modelled behaviour.
+	Description string
+}
+
+// arch is the behavioural archetype of a benchmark.
+type arch int
+
+const (
+	archSteady arch = iota
+	archDrift
+	archAlternate
+	archHighUCR
+	archHuge
+	archMany
+)
+
+// def is the declarative description a benchmark is generated from.
+type def struct {
+	name  string
+	seed  uint64
+	arch  arch
+	loops int // number of hot loops
+	body  int // mean loop body size in instructions
+	// straightFrac is the execution share of non-loop code.
+	straightFrac float64
+	missRate     float64
+	missPenalty  uint64
+	// workG is total base-cycle work in billions at scale 1.
+	workG float64
+	// eraM is the drift-era length in millions of base cycles
+	// (archDrift/archHighUCR/archMany).
+	eraM float64
+	// altM is the alternation slice in millions (archAlternate and the
+	// mcf periodic tail).
+	altM float64
+	// flaky marks one loop whose bottleneck moves every segment.
+	flaky bool
+	// save is the benchmark's true prefetch effectiveness.
+	save float64
+	desc string
+}
+
+const million = 1_000_000
+
+// fineSlice is the interleave granularity for well-mixed execution: far
+// below any interval length, so per-interval sample mixes are steady.
+const fineSlice = 200_000
+
+// loadPatterns are the instruction mixes loop bodies cycle through.
+var loadPatterns = [][]isa.Kind{
+	{isa.KindLoad, isa.KindALU, isa.KindALU, isa.KindALU},
+	{isa.KindLoad, isa.KindALU, isa.KindStore, isa.KindALU, isa.KindALU},
+	{isa.KindLoad, isa.KindFP, isa.KindALU, isa.KindALU},
+	{isa.KindLoad, isa.KindALU, isa.KindLoad, isa.KindALU, isa.KindALU, isa.KindALU},
+}
+
+// build generates the benchmark from its definition. workScale stretches
+// the run length (total base cycles); timeScale stretches the phase
+// structure's time constants (era lengths, alternation slices, interleave
+// granularity) and should track the ratio between the sampling periods in
+// use and the paper's (45K-cycle reference). Scaling both together shrinks
+// a run without changing any dynamics; scaling work alone lengthens the
+// run while keeping the phase structure aligned with the paper's sampling
+// periods.
+func (d def) build(workScale, timeScale float64) (*Benchmark, error) {
+	if workScale <= 0 || timeScale <= 0 {
+		return nil, fmt.Errorf("workload: scales must be positive (work %v, time %v)", workScale, timeScale)
+	}
+	rng := rand.New(rand.NewPCG(d.seed, 0xC0DE))
+
+	b := isa.NewBuilder(0x10000)
+
+	// Dispatcher procedure: straight-line code that can never form a
+	// region. Several separate blocks so UCR samples are spread out.
+	var straight []sim.Span
+	disp := b.Proc(d.name + ".dispatch")
+	for i := 0; i < 4; i++ {
+		disp.Code(96+rng.IntN(64), isa.KindLoad, isa.KindALU, isa.KindALU, isa.KindALU, isa.KindALU, isa.KindALU)
+		disp.NewBlock()
+	}
+
+	// Hot-loop procedures, spread across the address space so centroid
+	// geometry matches large binaries. Programs whose phase behaviour
+	// comes from *which* code is hot (drift, alternation, high UCR) place
+	// loops in separate procedures with wide gaps, so a working-set move
+	// swings the centroid the way it does in real binaries; steady and
+	// many-region programs pack loops 4 per procedure.
+	perProc, skipBase, skipRange := 4, 0x1000, 0x6000
+	switch d.arch {
+	case archAlternate:
+		perProc = (d.loops + 1) / 2
+		skipBase, skipRange = 0x40000, 0x20000
+	case archDrift, archHighUCR, archHuge:
+		perProc = 1
+		skipBase, skipRange = 0x8000, 0x18000
+	}
+	var loops []isa.LoopSpan
+	remaining := d.loops
+	procIdx := 0
+	for remaining > 0 {
+		b.Skip(isa.Addr(skipBase + rng.IntN(skipRange)))
+		p := b.Proc(fmt.Sprintf("%s.p%d", d.name, procIdx))
+		procIdx++
+		inProc := perProc
+		if remaining < inProc {
+			inProc = remaining
+		}
+		for i := 0; i < inProc; i++ {
+			p.Code(4+rng.IntN(12), isa.KindALU)
+			var body int
+			if d.arch == archHuge {
+				// The huge-region granularity breakdown is size-critical:
+				// with 512-sample buffers, Pearson r hovers at the 0.8
+				// threshold near ~400 body instructions. Pin the first
+				// loop exactly at d.body so the ammp aberration is a
+				// property of the model, not of a random draw; the
+				// companion loop gets an ordinary size.
+				body = d.body
+				if len(loops) > 0 {
+					body = d.body / 4
+				}
+			} else {
+				body = d.body/2 + rng.IntN(d.body)
+			}
+			if body < 4 {
+				body = 4
+			}
+			pat := loadPatterns[rng.IntN(len(loadPatterns))]
+			loops = append(loops, p.Loop(body, pat, nil))
+		}
+		remaining -= inProc
+	}
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", d.name, err)
+	}
+
+	// Reconstruct the dispatcher's straight spans from its blocks (all
+	// blocks except the trailing return block).
+	dp := prog.Proc(d.name + ".dispatch")
+	for _, blk := range dp.Blocks {
+		if blk.Len() >= 64 {
+			straight = append(straight, sim.Span{Start: blk.Start, End: blk.End()})
+		}
+	}
+
+	sched, err := d.schedule(rng, loops, straight, workScale, timeScale)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", d.name, err)
+	}
+	if err := sched.Validate(prog); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", d.name, err)
+	}
+	return &Benchmark{
+		Name:         d.name,
+		Prog:         prog,
+		Sched:        sched,
+		HotLoops:     loops,
+		Straight:     straight,
+		PrefetchSave: d.save,
+		Description:  d.desc,
+	}, nil
+}
+
+// behavior builds the RegionBehavior for a loop. A loop's miss rate and
+// bottleneck are properties of its code and data structures, fixed for the
+// whole run — that per-region internal stability is exactly what local
+// phase detection exploits (Figure 10: r stays near 1 for mcf's regions
+// while their execution shares swing).
+func (d def) behavior(span isa.LoopSpan, weight, missRate float64, hotspotIdx int) sim.RegionBehavior {
+	stall := d.missPenalty * 3
+	return sim.RegionBehavior{
+		Start: span.Start, End: span.End,
+		Weight:      weight,
+		MissRate:    missRate,
+		MissPenalty: d.missPenalty,
+		HotspotIdx:  hotspotIdx,
+		HotspotStall: func() uint64 {
+			if hotspotIdx < 0 {
+				return 0
+			}
+			return stall
+		}(),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// loopHotspot picks a deterministic bottleneck instruction (a load-ish
+// position) for a span; -1 for none.
+func loopHotspot(rng *rand.Rand, span isa.LoopSpan) int {
+	n := span.NumInstrs()
+	if n < 8 {
+		return -1
+	}
+	return rng.IntN(n - 2)
+}
+
+// straightBehaviors spreads straightFrac weight over the straight spans.
+func (d def) straightBehaviors(straight []sim.Span) []sim.RegionBehavior {
+	if d.straightFrac <= 0 || len(straight) == 0 {
+		return nil
+	}
+	per := d.straightFrac / float64(len(straight))
+	out := make([]sim.RegionBehavior, 0, len(straight))
+	for _, s := range straight {
+		out = append(out, sim.RegionBehavior{
+			Start: s.Start, End: s.End,
+			Weight:      per,
+			MissRate:    d.missRate / 2,
+			MissPenalty: d.missPenalty,
+			HotspotIdx:  -1,
+		})
+	}
+	return out
+}
+
+// dirichletish returns n positive weights summing to (1 - reserve), with a
+// zipf-like skew so a few loops dominate, as in real profiles. The skew is
+// assigned through a fresh random permutation, so successive calls (eras)
+// promote *different* loops above the region-formation threshold — that is
+// how a gcc-like program accumulates hundreds of monitored regions over a
+// run even though each interval only has a handful of hot loops.
+func dirichletish(rng *rand.Rand, n int, reserve float64) []float64 {
+	w := make([]float64, n)
+	perm := rng.Perm(n)
+	var sum float64
+	for i := range w {
+		w[perm[i]] = (0.05 + rng.Float64()) / float64(i+1) // zipf-ish decay
+		sum += w[perm[i]]
+	}
+	scale := (1 - reserve) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}
+
+// schedule builds the archetype-specific schedule.
+func (d def) schedule(rng *rand.Rand, loops []isa.LoopSpan, straight []sim.Span, workScale, timeScale float64) (*sim.Schedule, error) {
+	work := uint64(d.workG * 1e9 * workScale)
+	if work == 0 {
+		return nil, fmt.Errorf("scaled work is zero")
+	}
+	// Time constants scale with timeScale so a reduced-scale run (with
+	// proportionally reduced sampling periods) preserves every full-scale
+	// ratio: era/interval, alternation/interval, slice/interval.
+	// The slice floor keeps one scheduling round well above the sum of
+	// minimum (one-iteration) visit costs even for many-loop benchmarks,
+	// so weights stay honoured at reduced scale.
+	slice := uint64(float64(fineSlice) * timeScale)
+	if slice < 20_000 {
+		slice = 20_000
+	}
+	eraCycles := d.eraM * million * timeScale
+	altBase := uint64(d.altM * million * timeScale)
+	if d.altM > 0 && altBase == 0 {
+		altBase = 1
+	}
+	hotspots := make([]int, len(loops))
+	missRates := make([]float64, len(loops))
+	for i, l := range loops {
+		hotspots[i] = loopHotspot(rng, l)
+		missRates[i] = clamp01(d.missRate * (0.7 + 0.6*rng.Float64()))
+	}
+
+	sc := &sim.Schedule{Name: d.name, Seed: d.seed}
+
+	switch d.arch {
+	case archSteady, archHuge, archMany:
+		// Mild era-level reshuffling for archMany (gcc-like programs do
+		// move between compilation units); archSteady/archHuge keep one
+		// segment.
+		nSeg := 1
+		if d.arch == archMany && d.eraM > 0 {
+			nSeg = clampSegs(int(float64(work) / eraCycles))
+		}
+		per := work / uint64(nSeg)
+		for s := 0; s < nSeg; s++ {
+			weights := dirichletish(rng, len(loops), d.straightFrac)
+			if d.arch == archHuge && len(loops) == 2 {
+				// Deterministic split so the huge region's sample density
+				// (weight × buffer / size) sits exactly in the band where
+				// Pearson r hovers at the threshold.
+				scale := (1 - d.straightFrac) / 0.95
+				weights = []float64{0.75 * scale, 0.20 * scale}
+			}
+			seg := sim.Segment{
+				Name:        fmt.Sprintf("era%d", s),
+				BaseCycles:  per,
+				SlicePeriod: slice,
+				JitterFrac:  0.1,
+			}
+			for i, l := range loops {
+				seg.Regions = append(seg.Regions, d.behavior(l, weights[i], missRates[i], hotspots[i]))
+			}
+			seg.Regions = append(seg.Regions, d.straightBehaviors(straight)...)
+			sc.Segments = append(sc.Segments, seg)
+		}
+
+	case archDrift:
+		// Eras in which dominance drifts across the loops, then a
+		// periodic tail alternating between two region subsets (the mcf
+		// shape). Each loop keeps its bottleneck throughout: locally
+		// stable, globally drifting.
+		nEras := clampSegs(int(float64(work) * 0.7 / eraCycles))
+		eraWork := uint64(float64(work) * 0.7 / float64(nEras))
+		for s := 0; s < nEras; s++ {
+			seg := sim.Segment{
+				Name:        fmt.Sprintf("era%d", s),
+				BaseCycles:  eraWork,
+				SlicePeriod: slice,
+				JitterFrac:  0.1,
+			}
+			// Dominance jumps around the loop set (and hence around the
+			// address space) era to era, the way mcf hops between
+			// subsystems — adjacent-address focus moves would barely
+			// move the centroid. The low/high interleaved permutation
+			// makes every transition cross roughly half the text range.
+			// Non-focus loops keep a meaningful share so their interval
+			// histograms stay dense enough for local detection — in the
+			// paper's mcf chart the diminished regions still gather
+			// hundreds of samples per interval.
+			focus := driftFocus(s, len(loops))
+			for i, l := range loops {
+				w := 0.14
+				if i == focus {
+					w = 0.70
+				} else if (i+1)%len(loops) == focus {
+					w = 0.25
+				}
+				seg.Regions = append(seg.Regions, d.behavior(l, w*(1-d.straightFrac), missRates[i], hotspots[i]))
+			}
+			seg.Regions = append(seg.Regions, d.straightBehaviors(straight)...)
+			sc.Segments = append(sc.Segments, seg)
+		}
+		// Periodic tail: two subsets alternating at altM granularity.
+		tailWork := work - eraWork*uint64(nEras)
+		if d.altM > 0 && tailWork > 0 && len(loops) >= 2 {
+			altCycles := altBase
+			pairs := tailWork / (2 * altCycles)
+			if pairs < 1 {
+				pairs = 1
+			}
+			mkTail := func(name string, subset []int) sim.Segment {
+				seg := sim.Segment{
+					Name:        name,
+					BaseCycles:  altCycles,
+					SlicePeriod: slice,
+					JitterFrac:  0.1,
+				}
+				for _, i := range subset {
+					seg.Regions = append(seg.Regions,
+						d.behavior(loops[i], (1-d.straightFrac)/float64(len(subset)), missRates[i], hotspots[i]))
+				}
+				seg.Regions = append(seg.Regions, d.straightBehaviors(straight)...)
+				return seg
+			}
+			half := len(loops) / 2
+			setA := make([]int, 0, half)
+			setB := make([]int, 0, len(loops)-half)
+			for i := range loops {
+				if i < half {
+					setA = append(setA, i)
+				} else {
+					setB = append(setB, i)
+				}
+			}
+			tail := &sim.Schedule{}
+			tail.Segments = append(tail.Segments, mkTail("tailA", setA), mkTail("tailB", setB))
+			for p := uint64(0); p < pairs; p++ {
+				sc.Segments = append(sc.Segments, tail.Segments...)
+			}
+		}
+
+	case archAlternate:
+		// Two disjoint region sets alternating at altM granularity — the
+		// facerec shape.
+		if len(loops) < 2 {
+			return nil, fmt.Errorf("alternate archetype needs >= 2 loops")
+		}
+		altCycles := altBase
+		// Incommensurate second slice defeats accidental alignment with
+		// the sampling interval.
+		altB := altCycles + altCycles/4
+		pairs := work / (altCycles + altB)
+		if pairs < 1 {
+			pairs = 1
+		}
+		half := len(loops) / 2
+		mk := func(name string, lo, hi int, cycles uint64) sim.Segment {
+			seg := sim.Segment{
+				Name:        name,
+				BaseCycles:  cycles,
+				SlicePeriod: slice,
+				JitterFrac:  0.1,
+			}
+			n := hi - lo
+			for i := lo; i < hi; i++ {
+				seg.Regions = append(seg.Regions,
+					d.behavior(loops[i], (1-d.straightFrac)/float64(n), missRates[i], hotspots[i]))
+			}
+			seg.Regions = append(seg.Regions, d.straightBehaviors(straight)...)
+			return seg
+		}
+		sc.Segments = append(sc.Segments, mk("setA", 0, half, altCycles), mk("setB", half, len(loops), altB))
+		sc.Repeat = int(pairs)
+
+	case archHighUCR:
+		// Heavy straight-line execution plus a handful of loops; one
+		// flaky loop's bottleneck moves every era (the gap outlier).
+		nEras := clampSegs(int(float64(work) / eraCycles))
+		per := work / uint64(nEras)
+		for s := 0; s < nEras; s++ {
+			seg := sim.Segment{
+				Name:        fmt.Sprintf("era%d", s),
+				BaseCycles:  per,
+				SlicePeriod: slice,
+				JitterFrac:  0.15,
+			}
+			weights := dirichletish(rng, len(loops), d.straightFrac)
+			for i, l := range loops {
+				hs := hotspots[i]
+				if d.flaky && i == len(loops)-1 {
+					// The flaky short-lived region: its bottleneck moves
+					// every era (a real local phase change each time) and
+					// it all but disappears in every third era. Its
+					// present-era weight is pinned high enough that the
+					// interval histograms are dense — the paper's outlier
+					// region really is detected changing, not just noisy.
+					hs = (s * 5) % maxInt(l.NumInstrs()-2, 1)
+					if s%3 == 2 {
+						weights[i] = 0.001 // nearly absent this era
+					} else {
+						weights[i] = 0.08
+					}
+				}
+				seg.Regions = append(seg.Regions, d.behavior(l, weights[i]+0.001, missRates[i], hs))
+			}
+			seg.Regions = append(seg.Regions, d.straightBehaviors(straight)...)
+			sc.Segments = append(sc.Segments, seg)
+		}
+	default:
+		return nil, fmt.Errorf("unknown archetype %d", d.arch)
+	}
+	return sc, nil
+}
+
+// driftFocus returns the era's dominant-loop index, interleaving the low
+// and high halves of the loop list so consecutive eras emphasize code far
+// apart in the address space.
+func driftFocus(era, n int) int {
+	if n == 0 {
+		return 0
+	}
+	k := era % n
+	if k%2 == 0 {
+		return k / 2
+	}
+	return n/2 + k/2
+}
+
+// clampSegs bounds a computed segment count to something sane: at least
+// two (there is no "drift" with one era) and at most maxSegments (a memory
+// and sanity backstop far above any tuned configuration).
+func clampSegs(n int) int {
+	if n < 2 {
+		return 2
+	}
+	if n > maxSegments {
+		return maxSegments
+	}
+	return n
+}
+
+// maxSegments bounds generated segment counts.
+const maxSegments = 1024
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

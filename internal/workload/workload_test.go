@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+
+	"regionmon/internal/hpm"
+	"regionmon/internal/isa"
+	"regionmon/internal/sim"
+)
+
+func TestSuiteBuildsAndValidates(t *testing.T) {
+	suite, err := Suite(0.01)
+	if err != nil {
+		t.Fatalf("Suite: %v", err)
+	}
+	if len(suite) != len(Names()) {
+		t.Fatalf("suite has %d benchmarks; want %d", len(suite), len(Names()))
+	}
+	for _, b := range suite {
+		if b.Prog == nil || b.Sched == nil {
+			t.Fatalf("%s: nil program or schedule", b.Name)
+		}
+		if err := b.Sched.Validate(b.Prog); err != nil {
+			t.Errorf("%s: schedule invalid: %v", b.Name, err)
+		}
+		if len(b.HotLoops) == 0 {
+			t.Errorf("%s: no hot loops", b.Name)
+		}
+		if b.PrefetchSave <= 0 || b.PrefetchSave > 1 {
+			t.Errorf("%s: prefetch save %v outside (0,1]", b.Name, b.PrefetchSave)
+		}
+		if b.Description == "" {
+			t.Errorf("%s: missing description", b.Name)
+		}
+		// Built loop spans must be discoverable by loop detection (region
+		// formation depends on it).
+		loops := b.Prog.AllLoops()
+		if len(loops) < len(b.HotLoops) {
+			t.Errorf("%s: detection found %d loops; builder made %d", b.Name, len(loops), len(b.HotLoops))
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("999.nope", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := ByName("181.mcf", 0); err == nil {
+		t.Error("zero work scale accepted")
+	}
+}
+
+func TestFig3NamesExcludesShortRunners(t *testing.T) {
+	names := Fig3Names()
+	if len(names) != 21 {
+		t.Fatalf("Fig3Names has %d entries; want 21", len(names))
+	}
+	for _, n := range names {
+		if n == "164.gzip" || n == "176.gcc" || n == "179.art" {
+			t.Errorf("short-runner %s in Fig3 list", n)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := ByName("181.mcf", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("181.mcf", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prog.NumInstrs() != b.Prog.NumInstrs() || len(a.Sched.Segments) != len(b.Sched.Segments) {
+		t.Error("generation not deterministic")
+	}
+	for i := range a.HotLoops {
+		if a.HotLoops[i] != b.HotLoops[i] {
+			t.Fatalf("loop %d differs", i)
+		}
+	}
+}
+
+func TestBenchmarksExecute(t *testing.T) {
+	// Every benchmark must run end-to-end at tiny scale and produce
+	// samples attributable to its declared spans.
+	for _, name := range []string{"181.mcf", "187.facerec", "254.gap", "188.ammp", "172.mgrid", "176.gcc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := ByName(name, 0.005)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var inLoops, inStraight, elsewhere int
+			mon, err := hpm.New(hpm.Config{Period: 2_000, BufferSize: 128, JitterFrac: 0.1}, func(ov *hpm.Overflow) {
+				for _, s := range ov.Samples {
+					switch {
+					case spanHit(b.HotLoops, s.PC):
+						inLoops++
+					case straightHit(b.Straight, s.PC):
+						inStraight++
+					default:
+						elsewhere++
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex, err := sim.NewExecutor(b.Prog, b.Sched, mon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := ex.Run()
+			mon.Flush()
+			if res.Cycles == 0 || res.Instrs == 0 {
+				t.Fatal("benchmark did not execute")
+			}
+			total := inLoops + inStraight + elsewhere
+			if total == 0 {
+				t.Fatal("no samples")
+			}
+			if frac := float64(elsewhere) / float64(total); frac > 0.02 {
+				t.Errorf("%.1f%% of samples outside declared spans", frac*100)
+			}
+			if inLoops == 0 {
+				t.Error("no samples in hot loops")
+			}
+		})
+	}
+}
+
+func TestHighUCRBenchmarksSpendTimeInStraightCode(t *testing.T) {
+	for _, name := range []string{"254.gap", "186.crafty"} {
+		b, err := ByName(name, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inStraight, total int
+		mon, err := hpm.New(hpm.Config{Period: 2_000, BufferSize: 128, JitterFrac: 0.1}, func(ov *hpm.Overflow) {
+			for _, s := range ov.Samples {
+				total++
+				if straightHit(b.Straight, s.PC) {
+					inStraight++
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := sim.NewExecutor(b.Prog, b.Sched, mon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.Run()
+		if total == 0 {
+			t.Fatal("no samples")
+		}
+		frac := float64(inStraight) / float64(total)
+		if frac < 0.30 {
+			t.Errorf("%s: straight-code sample share %.2f; want >= 0.30 (persistent UCR)", name, frac)
+		}
+	}
+}
+
+func spanHit(spans []isa.LoopSpan, pc isa.Addr) bool {
+	for _, s := range spans {
+		if s.Contains(pc) {
+			return true
+		}
+	}
+	return false
+}
+
+func straightHit(spans []sim.Span, pc isa.Addr) bool {
+	for _, s := range spans {
+		if s.Contains(pc) {
+			return true
+		}
+	}
+	return false
+}

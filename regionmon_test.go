@@ -1,0 +1,168 @@
+package regionmon
+
+import (
+	"testing"
+)
+
+// buildDemo constructs a small two-loop program and a schedule through the
+// public façade only.
+func buildDemo(t testing.TB) (*Program, *Schedule, LoopSpan, LoopSpan) {
+	t.Helper()
+	b := NewProgramBuilder(0x10000)
+	p := b.Proc("main")
+	p.Code(16, KindALU)
+	l1 := p.Loop(20, []Kind{KindLoad, KindALU, KindALU, KindALU}, nil)
+	b.Skip(0x20000)
+	q := b.Proc("aux")
+	l2 := q.Loop(24, []Kind{KindLoad, KindALU, KindStore, KindALU}, nil)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sched := &Schedule{
+		Name:   "demo",
+		Repeat: 20,
+		Segments: []Segment{{
+			BaseCycles:  200_000,
+			SlicePeriod: 10_000,
+			Regions: []RegionBehavior{
+				{Start: l1.Start, End: l1.End, Weight: 0.6, MissRate: 0.4, MissPenalty: 40, HotspotIdx: -1},
+				{Start: l2.Start, End: l2.End, Weight: 0.4, MissRate: 0.2, MissPenalty: 40, HotspotIdx: -1},
+			},
+		}},
+	}
+	return prog, sched, l1, l2
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	prog, sched, _, _ := buildDemo(t)
+	sys, err := NewSystem(prog, sched, SystemConfig{
+		Sampling: SamplingConfig{Period: 500, BufferSize: 256, JitterFrac: 0.1},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	var reports []IntervalReport
+	sys.Observe(func(r IntervalReport) { reports = append(reports, r) })
+	stats := sys.Run()
+	if stats.Intervals == 0 || len(reports) != stats.Intervals {
+		t.Fatalf("intervals = %d, reports = %d", stats.Intervals, len(reports))
+	}
+	if stats.Regions < 2 {
+		t.Errorf("regions = %d; want >= 2 (both loops formed)", stats.Regions)
+	}
+	if stats.Exec.Cycles == 0 {
+		t.Error("no cycles executed")
+	}
+	// Steady behaviour: GPD and every region eventually stable.
+	if stats.GlobalStableFraction == 0 {
+		t.Error("GPD never stable on steady demo")
+	}
+	// Steady behaviour: every region is locally stable for most of the
+	// run (the very last interval is a sparse partial-buffer flush and
+	// may read unstable).
+	for _, r := range sys.RegionMonitor().Regions() {
+		if frac := r.Detector.StableFraction(); frac < 0.5 {
+			t.Errorf("region %s stable fraction %.2f; want >= 0.5", r.Name(), frac)
+		}
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	prog, sched, _, _ := buildDemo(t)
+	if _, err := NewSystem(nil, sched, SystemConfig{Sampling: SamplingConfig{Period: 100}}); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, err := NewSystem(prog, nil, SystemConfig{Sampling: SamplingConfig{Period: 100}}); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	if _, err := NewSystem(prog, sched, SystemConfig{}); err == nil {
+		t.Error("zero sampling period accepted")
+	}
+	bad := DefaultGlobalConfig()
+	bad.HistorySize = 0
+	if _, err := NewSystem(prog, sched, SystemConfig{
+		Sampling: SamplingConfig{Period: 100},
+		Global:   &bad,
+	}); err == nil {
+		t.Error("bad global config accepted")
+	}
+	badR := DefaultRegionConfig()
+	badR.UCRThreshold = 0
+	if _, err := NewSystem(prog, sched, SystemConfig{
+		Sampling: SamplingConfig{Period: 100},
+		Region:   &badR,
+	}); err == nil {
+		t.Error("bad region config accepted")
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	if _, err := NewGlobalDetector(DefaultGlobalConfig()); err != nil {
+		t.Errorf("NewGlobalDetector: %v", err)
+	}
+	if _, err := NewLocalDetector(32, DefaultLocalConfig()); err != nil {
+		t.Errorf("NewLocalDetector: %v", err)
+	}
+	prog, sched, _, _ := buildDemo(t)
+	if _, err := NewRegionMonitor(prog, DefaultRegionConfig()); err != nil {
+		t.Errorf("NewRegionMonitor: %v", err)
+	}
+	mon, err := NewSamplingMonitor(SamplingConfig{Period: 1000}, func(*Overflow) {})
+	if err != nil {
+		t.Fatalf("NewSamplingMonitor: %v", err)
+	}
+	if _, err := NewExecutor(prog, sched, mon); err != nil {
+		t.Errorf("NewExecutor: %v", err)
+	}
+	rto, err := NewRTO(prog, sched, SamplingConfig{Period: 1000, BufferSize: 64}, DefaultRTOConfig(PolicyLPD))
+	if err != nil {
+		t.Fatalf("NewRTO: %v", err)
+	}
+	res := rto.Run()
+	if res.Sim.Cycles == 0 {
+		t.Error("RTO run executed nothing")
+	}
+	cm := DefaultCostModel()
+	if cm.Cost(KindFP) != 3 {
+		t.Error("cost model re-export broken")
+	}
+	if DefaultBufferSize != 2032 {
+		t.Error("buffer size re-export broken")
+	}
+}
+
+func TestBenchmarkFacade(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 24 {
+		t.Fatalf("suite has %d benchmarks; want 24", len(names))
+	}
+	b, err := LoadBenchmark("181.mcf", 0.001)
+	if err != nil {
+		t.Fatalf("LoadBenchmark: %v", err)
+	}
+	if b.Name != "181.mcf" || b.Prog == nil {
+		t.Error("benchmark malformed")
+	}
+	if _, err := LoadBenchmark("nope", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if len(Fig13BenchmarkNames()) != 8 || len(Fig17BenchmarkNames()) != 4 {
+		t.Error("figure subsets wrong")
+	}
+	tab := Fig8Table()
+	if len(tab.Rows) != 2 {
+		t.Error("Fig8 table wrong")
+	}
+	opts := QuickExperimentOptions()
+	if err := opts.Validate(); err != nil {
+		t.Errorf("quick options invalid: %v", err)
+	}
+	dflt := DefaultExperimentOptions()
+	if err := dflt.Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+}

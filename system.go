@@ -1,0 +1,144 @@
+package regionmon
+
+import (
+	"fmt"
+
+	"regionmon/internal/gpd"
+	"regionmon/internal/hpm"
+	"regionmon/internal/region"
+	"regionmon/internal/sim"
+)
+
+// IntervalReport is delivered to a System's observer after every sampling
+// interval (sample-buffer overflow), carrying both detectors' views.
+type IntervalReport struct {
+	// Seq is the overflow sequence number.
+	Seq int
+	// Cycle is the absolute cycle at the end of the interval.
+	Cycle uint64
+	// Global is the centroid detector's verdict.
+	Global GlobalVerdict
+	// Regions is the region monitor's report (UCR, formation, per-region
+	// verdicts).
+	Regions RegionReport
+}
+
+// SystemStats summarizes a completed System run.
+type SystemStats struct {
+	// Exec carries cycle and instruction totals.
+	Exec ExecResult
+	// Intervals is the number of sampling intervals observed.
+	Intervals int
+	// GlobalPhaseChanges is GPD's stable→unstable count.
+	GlobalPhaseChanges int
+	// GlobalStableFraction is GPD's stable-time share.
+	GlobalStableFraction float64
+	// UCRMedian is the median unmonitored-sample fraction.
+	UCRMedian float64
+	// Regions is the number of monitored regions at end of run.
+	Regions int
+}
+
+// System is the convenience harness most users want: a program and a
+// schedule wired to the sampling monitor, with the centroid global
+// detector and the region monitoring framework both attached. Construct
+// with NewSystem, optionally register an observer, then Run.
+type System struct {
+	prog *Program
+
+	exec     *sim.Executor
+	mon      *hpm.Monitor
+	gdet     *gpd.Detector
+	rmon     *region.Monitor
+	observer func(IntervalReport)
+
+	intervals int
+	pcs       []uint64
+}
+
+// SystemConfig bundles a System's tunables; the zero value of each field
+// selects the paper's defaults.
+type SystemConfig struct {
+	// Sampling programs the performance monitor; Sampling.Period is
+	// required.
+	Sampling SamplingConfig
+	// Global overrides the GPD configuration (nil = paper defaults).
+	Global *GlobalConfig
+	// Region overrides the region-monitoring configuration (nil = paper
+	// defaults).
+	Region *RegionConfig
+}
+
+// NewSystem wires prog and sched under cfg.
+func NewSystem(prog *Program, sched *Schedule, cfg SystemConfig) (*System, error) {
+	if prog == nil || sched == nil {
+		return nil, fmt.Errorf("regionmon: nil program or schedule")
+	}
+	gcfg := gpd.DefaultConfig()
+	if cfg.Global != nil {
+		gcfg = *cfg.Global
+	}
+	rcfg := region.DefaultConfig()
+	if cfg.Region != nil {
+		rcfg = *cfg.Region
+	}
+	s := &System{prog: prog}
+	gdet, err := gpd.New(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.gdet = gdet
+	rmon, err := region.NewMonitor(prog, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.rmon = rmon
+	mon, err := hpm.New(cfg.Sampling, s.onOverflow)
+	if err != nil {
+		return nil, err
+	}
+	s.mon = mon
+	exec, err := sim.NewExecutor(prog, sched, mon)
+	if err != nil {
+		return nil, err
+	}
+	s.exec = exec
+	return s, nil
+}
+
+// Observe registers fn to be called after every sampling interval. At most
+// one observer is supported; a second call replaces the first.
+func (s *System) Observe(fn func(IntervalReport)) { s.observer = fn }
+
+// GlobalDetector exposes the attached centroid detector.
+func (s *System) GlobalDetector() *GlobalDetector { return s.gdet }
+
+// RegionMonitor exposes the attached region monitor.
+func (s *System) RegionMonitor() *RegionMonitor { return s.rmon }
+
+// Executor exposes the underlying executor (e.g. to deploy optimizations
+// manually).
+func (s *System) Executor() *Executor { return s.exec }
+
+func (s *System) onOverflow(ov *hpm.Overflow) {
+	s.intervals++
+	s.pcs = hpm.PCs(ov, s.pcs[:0])
+	gv := s.gdet.ObservePCs(s.pcs)
+	rep := s.rmon.ProcessOverflow(ov)
+	if s.observer != nil {
+		s.observer(IntervalReport{Seq: ov.Seq, Cycle: ov.Cycle, Global: gv, Regions: rep})
+	}
+}
+
+// Run executes the schedule to completion and returns the run summary.
+func (s *System) Run() SystemStats {
+	res := s.exec.Run()
+	return SystemStats{
+		Exec:                 res,
+		Intervals:            s.intervals,
+		GlobalPhaseChanges:   s.gdet.PhaseChanges(),
+		GlobalStableFraction: s.gdet.StableFraction(),
+		UCRMedian:            s.rmon.UCRMedian(),
+		Regions:              len(s.rmon.Regions()),
+	}
+}
