@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector, including the concurrent-sweep
+# tests that exercise >= 4 simultaneous (executor, monitor, pipeline)
+# stacks.
+race:
+	$(GO) test -race ./...
+
+# Smoke-run the hot-path benchmarks: one iteration each, with allocation
+# reporting (the allocs/op gate itself lives in TestSystemRunAllocs and
+# pipeline.TestHotPathAllocs, which run under `make test`).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSystemRun|BenchmarkFig13' -benchtime 1x -benchmem ./.
+
+check: vet build test race bench

@@ -322,6 +322,68 @@ func BenchmarkExtDetectorPanel(b *testing.B) {
 	}
 }
 
+// BenchmarkSystemRun measures a complete System run (executor + sampling
+// monitor + GPD + region monitoring through the pipeline) and reports
+// allocations per sampling interval. The monitoring hot path reuses all
+// per-interval buffers (PC scratch, region histograms, verdict slices),
+// so allocs/interval must stay at the amortized noise floor — the gate
+// catches regressions that reintroduce per-interval garbage.
+func BenchmarkSystemRun(b *testing.B) {
+	b.ReportAllocs()
+	var intervals int
+	for i := 0; i < b.N; i++ {
+		bench, err := LoadBenchmark("181.mcf", 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := NewSystem(bench.Prog, bench.Sched, SystemConfig{
+			Sampling: SamplingConfig{Period: 450, BufferSize: 512, JitterFrac: 0.1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := sys.Run()
+		intervals += stats.Intervals
+	}
+	b.ReportMetric(float64(intervals)/float64(b.N), "intervals")
+}
+
+// TestSystemRunAllocs is the allocation gate behind BenchmarkSystemRun,
+// enforced at plain `go test` time: once the detectors are warm, one
+// sampling interval through the full System fan-out must average at most
+// one allocation (amortized slice growth only).
+func TestSystemRunAllocs(t *testing.T) {
+	bench, err := LoadBenchmark("181.mcf", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(bench.Prog, bench.Sched, SystemConfig{
+		Sampling: SamplingConfig{Period: 450, BufferSize: 512, JitterFrac: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := sys.RegionMonitor()
+	sys.Run() // warm-up: form regions, size every scratch buffer
+	if len(mon.Regions()) == 0 {
+		t.Fatal("no regions formed during warm-up")
+	}
+	// Replay a synthetic steady interval through the pipeline directly.
+	pipe := sys.Pipeline()
+	r := mon.Regions()[0]
+	ov := &Overflow{Samples: make([]Sample, 512)}
+	for i := range ov.Samples {
+		ov.Samples[i] = Sample{PC: r.Start + Addr(i%r.NumInstrs())*4, Instrs: 10}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		ov.Seq++
+		pipe.ProcessOverflow(ov)
+	})
+	if avg > 1 {
+		t.Errorf("steady-state interval allocates %.2f allocs; want <= 1", avg)
+	}
+}
+
 // --- Ablation benchmarks (DESIGN.md section 5) ---
 
 // BenchmarkAblationGPDThresholdTH3 sweeps the stability-exit threshold:

@@ -1,0 +1,108 @@
+// Command benchpipeline measures sequential vs parallel wall-clock time
+// for the Figure 13/14 sweep grid and emits the result as JSON (the
+// committed BENCH_pipeline.json). The parallel runner is verified to
+// produce results identical to the sequential one before any timing is
+// reported.
+//
+// Usage:
+//
+//	go run ./cmd/benchpipeline > BENCH_pipeline.json
+//	go run ./cmd/benchpipeline -full   # paper-scale runs (minutes)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"regionmon"
+)
+
+type run struct {
+	Mode    string  `json:"mode"` // "sequential" or "parallel"
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+type report struct {
+	Grid struct {
+		Benchmarks []string `json:"benchmarks"`
+		Periods    []uint64 `json:"periods"`
+		Cells      int      `json:"cells"`
+	} `json:"grid"`
+	Scale   string `json:"scale"` // "quick" or "full"
+	Machine struct {
+		GOOS   string `json:"goos"`
+		GOARCH string `json:"goarch"`
+		CPUs   int    `json:"cpus"`
+	} `json:"machine"`
+	Deterministic bool  `json:"parallel_results_identical"`
+	Runs          []run `json:"runs"`
+}
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale runs instead of reduced-scale")
+	flag.Parse()
+
+	opts := regionmon.QuickExperimentOptions()
+	scale := "quick"
+	if *full {
+		opts = regionmon.DefaultExperimentOptions()
+		scale = "full"
+	}
+	names := regionmon.Fig13BenchmarkNames()
+
+	var rep report
+	rep.Grid.Benchmarks = names
+	rep.Grid.Periods = opts.Periods
+	rep.Grid.Cells = len(names) * len(opts.Periods)
+	rep.Scale = scale
+	rep.Machine.GOOS = runtime.GOOS
+	rep.Machine.GOARCH = runtime.GOARCH
+	rep.Machine.CPUs = runtime.NumCPU()
+	rep.Deterministic = true
+
+	t0 := time.Now()
+	seq, err := regionmon.RunSweep(opts, names)
+	if err != nil {
+		fatal(err)
+	}
+	seqSecs := time.Since(t0).Seconds()
+	rep.Runs = append(rep.Runs, run{Mode: "sequential", Workers: 1, Seconds: seqSecs, Speedup: 1})
+
+	workerCounts := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		t0 = time.Now()
+		par, err := regionmon.RunSweepParallel(opts, names, w)
+		if err != nil {
+			fatal(err)
+		}
+		secs := time.Since(t0).Seconds()
+		if !reflect.DeepEqual(seq.Cells, par.Cells) {
+			rep.Deterministic = false
+		}
+		rep.Runs = append(rep.Runs, run{
+			Mode: "parallel", Workers: w,
+			Seconds: secs, Speedup: seqSecs / secs,
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchpipeline:", err)
+	os.Exit(1)
+}

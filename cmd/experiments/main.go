@@ -9,6 +9,12 @@
 //	experiments -fig 3 -quick            # reduced scale (CI/laptop)
 //	experiments -fig 6 -csv              # CSV instead of aligned text
 //	experiments -fig 13 -scale 0.1       # custom scale
+//	experiments -fig all -workers 1      # force sequential sweeps
+//
+// The sweep grids (figures 3/4/6/7/13/14 and 17) run on a worker pool,
+// one independent simulation per (benchmark, period) cell; -workers caps
+// the pool (default: all cores). Results are deterministic regardless of
+// worker count.
 //
 // Figure numbers follow the paper. Figures 1 and 12 are state-machine
 // specifications with no data; their behaviour is covered by the unit
@@ -28,12 +34,13 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 2..17, 'panel' (extension E1) or 'all'")
-		quick  = flag.Bool("quick", false, "reduced-scale run with proportionally scaled periods")
-		scale  = flag.Float64("scale", 0, "override work scale (0 = per -quick/full default)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonF  = flag.Bool("json", false, "emit JSON instead of aligned text")
-		detail = flag.Bool("detail", false, "also print controller detail for figure 17")
+		fig     = flag.String("fig", "all", "figure to regenerate: 2..17, 'panel' (extension E1) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced-scale run with proportionally scaled periods")
+		scale   = flag.Float64("scale", 0, "override work scale (0 = per -quick/full default)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonF   = flag.Bool("json", false, "emit JSON instead of aligned text")
+		detail  = flag.Bool("detail", false, "also print controller detail for figure 17")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -51,7 +58,7 @@ func main() {
 	if *jsonF {
 		format = formatJSON
 	}
-	if err := run(opts, strings.ToLower(*fig), format, *detail); err != nil {
+	if err := run(opts, strings.ToLower(*fig), format, *detail, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -83,7 +90,7 @@ func emit(tab *experiments.Table, f format) {
 	}
 }
 
-func run(opts experiments.Options, fig string, f format, detail bool) error {
+func run(opts experiments.Options, fig string, f format, detail bool, workers int) error {
 	want := func(f string) bool { return fig == "all" || fig == f }
 	start := time.Now()
 
@@ -108,7 +115,7 @@ func run(opts experiments.Options, fig string, f format, detail bool) error {
 		if fig == "13" || fig == "14" {
 			names = experiments.Fig13Names()
 		}
-		sweep, err := experiments.RunSweep(opts, names)
+		sweep, err := experiments.RunSweepParallel(opts, names, workers)
 		if err != nil {
 			return err
 		}
@@ -190,7 +197,7 @@ func run(opts experiments.Options, fig string, f format, detail bool) error {
 		emit(panel.Table(), f)
 	}
 	if want("17") {
-		sp, err := experiments.RunSpeedup(opts, experiments.Fig17Names())
+		sp, err := experiments.RunSpeedupParallel(opts, experiments.Fig17Names(), workers)
 		if err != nil {
 			return err
 		}

@@ -43,11 +43,11 @@ func captureStdout(t *testing.T, fn func() error) string {
 
 func TestRunFig8TextAndCSV(t *testing.T) {
 	opts := experiments.TestOptions()
-	text := captureStdout(t, func() error { return run(opts, "8", formatText, false) })
+	text := captureStdout(t, func() error { return run(opts, "8", formatText, false, 1) })
 	if !strings.Contains(text, "Figure 8") || !strings.Contains(text, "shift bottleneck") {
 		t.Errorf("fig 8 text output malformed:\n%s", text)
 	}
-	csv := captureStdout(t, func() error { return run(opts, "8", formatCSV, false) })
+	csv := captureStdout(t, func() error { return run(opts, "8", formatCSV, false, 1) })
 	if !strings.Contains(csv, "comparison,r,paper r") {
 		t.Errorf("fig 8 CSV output malformed:\n%s", csv)
 	}
@@ -55,7 +55,7 @@ func TestRunFig8TextAndCSV(t *testing.T) {
 
 func TestRunChartFigure(t *testing.T) {
 	opts := experiments.TestOptions()
-	out := captureStdout(t, func() error { return run(opts, "5", formatText, false) })
+	out := captureStdout(t, func() error { return run(opts, "5", formatText, false, 1) })
 	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "187.facerec") {
 		t.Errorf("fig 5 output malformed:\n%.400s", out)
 	}
@@ -63,7 +63,7 @@ func TestRunChartFigure(t *testing.T) {
 
 func TestRunUnknownFigureIsNoop(t *testing.T) {
 	opts := experiments.TestOptions()
-	out := captureStdout(t, func() error { return run(opts, "99", formatText, false) })
+	out := captureStdout(t, func() error { return run(opts, "99", formatText, false, 1) })
 	if strings.Contains(out, "Figure") {
 		t.Errorf("unknown figure produced output:\n%s", out)
 	}
@@ -71,7 +71,7 @@ func TestRunUnknownFigureIsNoop(t *testing.T) {
 
 func TestRunFig8JSON(t *testing.T) {
 	opts := experiments.TestOptions()
-	out := captureStdout(t, func() error { return run(opts, "8", formatJSON, false) })
+	out := captureStdout(t, func() error { return run(opts, "8", formatJSON, false, 1) })
 	if !strings.Contains(out, `"title": "Figure 8`) || !strings.Contains(out, `"rows"`) {
 		t.Errorf("fig 8 JSON output malformed:\n%s", out)
 	}

@@ -35,6 +35,13 @@ func RunSweep(opts ExperimentOptions, names []string) (*SweepResult, error) {
 	return experiments.RunSweep(opts, names)
 }
 
+// RunSweepParallel is RunSweep on a worker pool (workers < 1 selects all
+// cores), with results identical to RunSweep's regardless of worker
+// count.
+func RunSweepParallel(opts ExperimentOptions, names []string, workers int) (*SweepResult, error) {
+	return experiments.RunSweepParallel(opts, names, workers)
+}
+
 // RunChart records a region chart for one benchmark.
 func RunChart(opts ExperimentOptions, name string) (*ChartResult, error) {
 	return experiments.RunChart(opts, name)
@@ -53,6 +60,13 @@ func RunTreeComparison(opts ExperimentOptions, names []string) (*TreeResult, err
 // RunSpeedup measures Figure 17 (RTO-LPD over RTO-ORIG).
 func RunSpeedup(opts ExperimentOptions, names []string) (*SpeedupResult, error) {
 	return experiments.RunSpeedup(opts, names)
+}
+
+// RunSpeedupParallel is RunSpeedup on a worker pool (workers < 1 selects
+// all cores), with results identical to RunSpeedup's regardless of
+// worker count.
+func RunSpeedupParallel(opts ExperimentOptions, names []string, workers int) (*SpeedupResult, error) {
+	return experiments.RunSpeedupParallel(opts, names, workers)
 }
 
 // Fig8Table renders the Figure 8 Pearson demonstration.

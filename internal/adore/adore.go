@@ -37,6 +37,7 @@ import (
 	"regionmon/internal/hpm"
 	"regionmon/internal/isa"
 	"regionmon/internal/lpd"
+	"regionmon/internal/pipeline"
 	"regionmon/internal/region"
 	"regionmon/internal/sim"
 )
@@ -251,6 +252,12 @@ type patchState struct {
 
 // RTO wires a program, schedule, sampling monitor, executor and a
 // controller policy into one runnable system.
+//
+// Policies are detector pipeline configurations, not separate control
+// paths: New registers the policy's detectors (the CPI tracker when
+// enabled, then the governing detector — GPD's centroid or the region
+// monitor) on one pipeline, and the controller is a single dispatch loop
+// over each interval's merged verdicts.
 type RTO struct {
 	cfg  Config
 	prog *isa.Program
@@ -258,21 +265,17 @@ type RTO struct {
 	exec *sim.Executor
 	mon  *hpm.Monitor
 
-	gdet *gpd.Detector
-	rmon *region.Monitor
-	cpi  *gpd.PerfTracker
+	pipe  *pipeline.Pipeline
+	ga    *pipeline.GPD           // nil unless PolicyGPD
+	ra    *pipeline.RegionMonitor // nil unless PolicyLPD
+	cpiAd *pipeline.Perf          // nil unless TrackCPI
 
-	patched     map[sim.Span]*patchState
-	blacklist   map[sim.Span]bool
-	events      []Event
-	patches     int
-	unpatches   int
-	harmUndos   int
-	stableW     float64 // sample-weighted stable accumulation (LPD)
-	totalW      float64
-	globalStint int
-
-	lastTotalSamples int
+	patched   map[sim.Span]*patchState
+	blacklist map[sim.Span]bool
+	events    []Event
+	patches   int
+	unpatches int
+	harmUndos int
 }
 
 // New constructs an RTO over prog and sched, sampling with hpmCfg.
@@ -286,6 +289,7 @@ func New(prog *isa.Program, sched *sim.Schedule, hpmCfg hpm.Config, cfg Config) 
 	r := &RTO{
 		cfg:       cfg,
 		prog:      prog,
+		pipe:      pipeline.New(),
 		patched:   make(map[sim.Span]*patchState),
 		blacklist: make(map[sim.Span]bool),
 	}
@@ -299,20 +303,9 @@ func New(prog *isa.Program, sched *sim.Schedule, hpmCfg hpm.Config, cfg Config) 
 		return nil, err
 	}
 	r.exec = exec
-	switch cfg.Policy {
-	case PolicyGPD:
-		d, err := gpd.New(cfg.GPD)
-		if err != nil {
-			return nil, err
-		}
-		r.gdet = d
-	case PolicyLPD:
-		m, err := region.NewMonitor(prog, cfg.Region)
-		if err != nil {
-			return nil, err
-		}
-		r.rmon = m
-	}
+	// Registration order is control order: the CPI tracker's verdict is
+	// handled before the governing detector's, matching the paper's "check
+	// performance characteristics first" sequencing.
 	if cfg.TrackCPI {
 		pcfg := cfg.CPI
 		if pcfg == (gpd.PerfConfig{}) {
@@ -322,7 +315,24 @@ func New(prog *isa.Program, sched *sim.Schedule, hpmCfg hpm.Config, cfg Config) 
 		if err != nil {
 			return nil, err
 		}
-		r.cpi = tr
+		r.cpiAd = pipeline.NewCPI(tr)
+		r.pipe.MustRegister(r.cpiAd)
+	}
+	switch cfg.Policy {
+	case PolicyGPD:
+		d, err := gpd.New(cfg.GPD)
+		if err != nil {
+			return nil, err
+		}
+		r.ga = pipeline.NewGPD(d)
+		r.pipe.MustRegister(r.ga)
+	case PolicyLPD:
+		m, err := region.NewMonitor(prog, cfg.Region)
+		if err != nil {
+			return nil, err
+		}
+		r.ra = pipeline.NewRegionMonitor(m)
+		r.pipe.MustRegister(r.ra)
 	}
 	return r, nil
 }
@@ -330,11 +340,25 @@ func New(prog *isa.Program, sched *sim.Schedule, hpmCfg hpm.Config, cfg Config) 
 // Executor exposes the underlying executor (tests and examples).
 func (r *RTO) Executor() *sim.Executor { return r.exec }
 
+// Pipeline exposes the detector pipeline the policy was configured on
+// (e.g. to attach extra observers or comparison detectors before Run).
+func (r *RTO) Pipeline() *pipeline.Pipeline { return r.pipe }
+
 // RegionMonitor exposes the region monitor (nil unless PolicyLPD).
-func (r *RTO) RegionMonitor() *region.Monitor { return r.rmon }
+func (r *RTO) RegionMonitor() *region.Monitor {
+	if r.ra == nil {
+		return nil
+	}
+	return r.ra.Monitor()
+}
 
 // GlobalDetector exposes the GPD detector (nil unless PolicyGPD).
-func (r *RTO) GlobalDetector() *gpd.Detector { return r.gdet }
+func (r *RTO) GlobalDetector() *gpd.Detector {
+	if r.ga == nil {
+		return nil
+	}
+	return r.ga.Detector()
+}
 
 // Run executes the schedule under the controller and returns the summary.
 func (r *RTO) Run() RunResult {
@@ -350,12 +374,10 @@ func (r *RTO) Run() RunResult {
 	}
 	switch r.cfg.Policy {
 	case PolicyGPD:
-		res.StableFraction = r.gdet.StableFraction()
+		res.StableFraction = r.ga.Detector().StableFraction()
 	case PolicyLPD:
-		if r.totalW > 0 {
-			res.StableFraction = r.stableW / r.totalW
-		}
-		res.Regions = len(r.rmon.Regions())
+		res.StableFraction = r.ra.WeightedStableFraction()
+		res.Regions = len(r.ra.Monitor().Regions())
 	}
 	return res
 }
@@ -363,13 +385,9 @@ func (r *RTO) Run() RunResult {
 func (r *RTO) phaseChanges() int {
 	switch r.cfg.Policy {
 	case PolicyGPD:
-		return r.gdet.PhaseChanges()
+		return r.ga.Detector().PhaseChanges()
 	case PolicyLPD:
-		n := 0
-		for _, reg := range r.rmon.Regions() {
-			n += reg.Detector.PhaseChanges()
-		}
-		return n
+		return r.ra.PhaseChanges()
 	default:
 		return 0
 	}
@@ -383,42 +401,60 @@ func (r *RTO) log(ev Event) {
 }
 
 // onOverflow is the monitoring thread: it runs synchronously on every
-// sample-buffer overflow.
+// sample-buffer overflow. Every registered detector observes the interval
+// through the pipeline; the controller is one dispatch loop over the
+// merged verdicts, switching on each detector's payload type.
 func (r *RTO) onOverflow(ov *hpm.Overflow) {
-	if r.cpi != nil {
-		if v := r.cpi.Observe(hpm.CPI(ov)); v.Changed {
-			r.log(Event{Cycle: ov.Cycle, Seq: ov.Seq, Kind: EventPerfChange,
-				Detail: fmt.Sprintf("CPI %.3f outside band [%.3f±%.3f]", v.Value, v.Mean, v.SD)})
-			if r.cfg.Policy == PolicyGPD {
-				// Re-evaluate every trace: the working set may be steady
-				// but its performance characteristics moved.
-				spans := make([]sim.Span, 0, len(r.patched))
-				for s := range r.patched {
-					spans = append(spans, s)
-				}
-				sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
-				for _, s := range spans {
-					r.unpatch(s, ov, "performance characteristics changed")
-				}
-			}
+	rep := r.pipe.ProcessOverflow(ov)
+	for i := range rep.Verdicts {
+		switch v := rep.Verdicts[i].Payload.(type) {
+		case *gpd.PerfVerdict:
+			r.perfControl(v, ov)
+		case *gpd.Verdict:
+			r.gpdControl(v, ov)
+		case *region.Report:
+			r.lpdControl(v, ov)
 		}
-	}
-	switch r.cfg.Policy {
-	case PolicyGPD:
-		r.gpdStep(ov)
-	case PolicyLPD:
-		r.lpdStep(ov)
 	}
 }
 
 // CPITracker exposes the CPI tracker (nil unless TrackCPI).
-func (r *RTO) CPITracker() *gpd.PerfTracker { return r.cpi }
+func (r *RTO) CPITracker() *gpd.PerfTracker {
+	if r.cpiAd == nil {
+		return nil
+	}
+	return r.cpiAd.Tracker()
+}
 
-// gpdStep implements RTO-ORIG: global detection, patch on stable entry,
+// perfControl reacts to the CPI tracker's verdict: log characteristic
+// changes and, under RTO-ORIG, re-evaluate every trace — the working set
+// may be steady but its performance characteristics moved.
+func (r *RTO) perfControl(v *gpd.PerfVerdict, ov *hpm.Overflow) {
+	if !v.Changed {
+		return
+	}
+	r.log(Event{Cycle: ov.Cycle, Seq: ov.Seq, Kind: EventPerfChange,
+		Detail: fmt.Sprintf("CPI %.3f outside band [%.3f±%.3f]", v.Value, v.Mean, v.SD)})
+	if r.cfg.Policy == PolicyGPD {
+		r.unpatchAll(ov, "performance characteristics changed")
+	}
+}
+
+// unpatchAll removes every deployed trace in address order.
+func (r *RTO) unpatchAll(ov *hpm.Overflow, why string) {
+	spans := make([]sim.Span, 0, len(r.patched))
+	for s := range r.patched {
+		spans = append(spans, s)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, s := range spans {
+		r.unpatch(s, ov, why)
+	}
+}
+
+// gpdControl implements RTO-ORIG: patch hot traces on stable entry,
 // unpatch everything on stable exit.
-func (r *RTO) gpdStep(ov *hpm.Overflow) {
-	pcs := hpm.PCs(ov, nil)
-	v := r.gdet.ObservePCs(pcs)
+func (r *RTO) gpdControl(v *gpd.Verdict, ov *hpm.Overflow) {
 	if v.PhaseChange {
 		r.log(Event{Cycle: ov.Cycle, Seq: ov.Seq, Kind: EventPhaseChange,
 			Detail: fmt.Sprintf("%v -> %v (delta %.3f)", v.Prev, v.State, v.Delta)})
@@ -431,14 +467,7 @@ func (r *RTO) gpdStep(ov *hpm.Overflow) {
 		}
 	case v.PhaseChange && v.State != gpd.Stable:
 		// Leaving stable: unpatch all traces for re-evaluation.
-		spans := make([]sim.Span, 0, len(r.patched))
-		for s := range r.patched {
-			spans = append(spans, s)
-		}
-		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
-		for _, s := range spans {
-			r.unpatch(s, ov, "global phase change")
-		}
+		r.unpatchAll(ov, "global phase change")
 	}
 }
 
@@ -482,10 +511,10 @@ func (r *RTO) hotLoops(ov *hpm.Overflow) []sim.Span {
 	return spans
 }
 
-// lpdStep implements RTO-LPD: region monitoring governs patching
-// region-by-region.
-func (r *RTO) lpdStep(ov *hpm.Overflow) {
-	rep := r.rmon.ProcessOverflow(ov)
+// lpdControl implements RTO-LPD: region monitoring governs patching
+// region-by-region. (The sample-weighted stability accounting lives in
+// the pipeline's RegionMonitor adapter.)
+func (r *RTO) lpdControl(rep *region.Report, ov *hpm.Overflow) {
 	if rep.FormationTriggered && len(rep.NewRegions) > 0 {
 		names := make([]string, len(rep.NewRegions))
 		for i, reg := range rep.NewRegions {
@@ -500,14 +529,6 @@ func (r *RTO) lpdStep(ov *hpm.Overflow) {
 		if rv.Verdict.PhaseChange {
 			r.log(Event{Cycle: ov.Cycle, Seq: ov.Seq, Kind: EventPhaseChange, Region: rv.Region.Name(),
 				Detail: fmt.Sprintf("%v -> %v (r %.3f)", rv.Verdict.Prev, rv.Verdict.State, rv.Verdict.R)})
-		}
-		// Sample-weighted stability accounting.
-		if total > 0 && rv.Samples > 0 {
-			w := float64(rv.Samples)
-			r.totalW += w
-			if rv.Verdict.State == lpd.Stable {
-				r.stableW += w
-			}
 		}
 		ps, isPatched := r.patched[span]
 		switch {

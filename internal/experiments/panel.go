@@ -5,8 +5,7 @@ import (
 
 	"regionmon/internal/altdetect"
 	"regionmon/internal/gpd"
-	"regionmon/internal/hpm"
-	"regionmon/internal/lpd"
+	"regionmon/internal/pipeline"
 	"regionmon/internal/region"
 )
 
@@ -45,7 +44,9 @@ type PanelResult struct {
 func DefaultPanelThresholds() (bbv, ws float64) { return 0.8, 0.5 }
 
 // RunDetectorPanel runs every named benchmark once at the smallest period
-// with all four detectors attached to the same stream.
+// with all four detector families registered on one pipeline — the fan-out
+// the pipeline layer exists for: every scheme observes the identical
+// sample stream, and the comparison falls out of the per-detector stats.
 func RunDetectorPanel(opts Options, names []string) (*PanelResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -74,44 +75,28 @@ func RunDetectorPanel(opts Options, names []string) (*PanelResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := PanelRow{Bench: name}
-		var stableW, totalW float64
-		var pcs []uint64
-		handler := func(ov *hpm.Overflow) {
-			row.Intervals++
-			pcs = hpm.PCs(ov, pcs[:0])
-			gdet.ObservePCs(pcs)
-			bbv.Observe(ov)
-			ws.Observe(ov)
-			rep := rmon.ProcessOverflow(ov)
-			for _, rv := range rep.Verdicts {
-				if rv.Samples == 0 {
-					continue
-				}
-				w := float64(rv.Samples)
-				totalW += w
-				if rv.Verdict.State == lpd.Stable {
-					stableW += w
-				}
-			}
-		}
-		if _, err := opts.runStream(bench, period, handler); err != nil {
+		pipe := pipeline.New()
+		ra := pipeline.NewRegionMonitor(rmon)
+		pipe.MustRegister(pipeline.NewGPD(gdet))
+		pipe.MustRegister(pipeline.NewBBV(bbv))
+		pipe.MustRegister(pipeline.NewWorkingSet(ws))
+		pipe.MustRegister(ra)
+		if _, err := opts.runStream(bench, period, pipe.Handler()); err != nil {
 			return nil, err
 		}
-		row.CentroidChanges = gdet.PhaseChanges()
-		row.CentroidStable = gdet.StableFraction()
-		row.BBVChanges = bbv.Changes()
-		row.BBVStable = bbv.StableFraction()
-		row.WSChanges = ws.Changes()
-		row.WSStable = ws.StableFraction()
-		for _, r := range rmon.Regions() {
-			row.LPDChanges += r.Detector.PhaseChanges()
-		}
-		if totalW > 0 {
-			row.LPDStable = stableW / totalW
-		}
-		row.Regions = len(rmon.Regions())
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, PanelRow{
+			Bench:           name,
+			Intervals:       pipe.Intervals(),
+			CentroidChanges: gdet.PhaseChanges(),
+			CentroidStable:  gdet.StableFraction(),
+			BBVChanges:      bbv.Changes(),
+			BBVStable:       bbv.StableFraction(),
+			WSChanges:       ws.Changes(),
+			WSStable:        ws.StableFraction(),
+			LPDChanges:      ra.PhaseChanges(),
+			LPDStable:       ra.WeightedStableFraction(),
+			Regions:         len(rmon.Regions()),
+		})
 	}
 	return res, nil
 }

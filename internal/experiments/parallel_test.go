@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRunCells(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got := make([]int, 10)
+		if err := runCells(workers, len(got), func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	// First error by cell index wins, matching the sequential loop.
+	err := runCells(4, 8, func(i int) error {
+		if i >= 2 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 2 failed" {
+		t.Errorf("err = %v; want cell 2 failed", err)
+	}
+}
+
+// TestParallelSweepDeterministic asserts the acceptance contract: the
+// parallel runner's result is identical to the sequential runner's,
+// regardless of worker count.
+func TestParallelSweepDeterministic(t *testing.T) {
+	opts := TestOptions()
+	names := []string{"181.mcf", "164.gzip"}
+	seq, err := RunSweep(opts, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := RunSweepParallel(opts, names, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Cells, par.Cells) {
+			t.Fatalf("workers=%d: parallel sweep diverged from sequential", workers)
+		}
+	}
+}
+
+// TestConcurrentSweeps drives two full sweeps concurrently, each on a
+// multi-worker pool — at least four simulation stacks (executor, monitor,
+// pipeline, detectors) live at once over the same read-only workload
+// tables. Run under -race (the Makefile's test target does) this is the
+// share-safety guard for the per-run state.
+func TestConcurrentSweeps(t *testing.T) {
+	opts := TestOptions()
+	var wg sync.WaitGroup
+	results := make([]*SweepResult, 2)
+	errs := make([]error, 2)
+	for k, names := range [][]string{
+		{"181.mcf", "164.gzip"},
+		{"254.gap", "187.facerec"},
+	} {
+		wg.Add(1)
+		go func(k int, names []string) {
+			defer wg.Done()
+			results[k], errs[k] = RunSweepParallel(opts, names, 2)
+		}(k, names)
+	}
+	wg.Wait()
+	for k := range results {
+		if errs[k] != nil {
+			t.Fatalf("sweep %d: %v", k, errs[k])
+		}
+		if n := len(results[k].Cells); n != 2*len(opts.Periods) {
+			t.Fatalf("sweep %d: %d cells", k, n)
+		}
+	}
+}
+
+// TestParallelSpeedupDeterministic covers the RTO grid the same way,
+// on a reduced slice of it.
+func TestParallelSpeedupDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RTO comparison runs are slow")
+	}
+	opts := TestOptions()
+	names := []string{"181.mcf"}
+	seq, err := RunSpeedup(opts, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSpeedupParallel(opts, names, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Cells) != len(par.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seq.Cells), len(par.Cells))
+	}
+	for i := range seq.Cells {
+		s, p := seq.Cells[i], par.Cells[i]
+		if s.Bench != p.Bench || s.Period != p.Period || s.Speedup != p.Speedup ||
+			s.Orig.Patches != p.Orig.Patches || s.LPD.Patches != p.LPD.Patches {
+			t.Errorf("cell %d diverged: seq %+v par %+v", i, s, p)
+		}
+	}
+}

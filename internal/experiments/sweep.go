@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"regionmon/internal/gpd"
-	"regionmon/internal/hpm"
+	"regionmon/internal/pipeline"
 	"regionmon/internal/region"
 	"regionmon/internal/stats"
 )
@@ -99,6 +99,10 @@ func RunSweep(opts Options, names []string) (*SweepResult, error) {
 	return res, nil
 }
 
+// runSweepCell simulates one independent (benchmark, period) stack:
+// fresh workload, detectors and pipeline per call, so cells can run
+// concurrently (the benchmark program is built privately here; even the
+// shared-program case would be safe, see isa.Program).
 func runSweepCell(opts Options, name string, period uint64) (SweepCell, error) {
 	bench, err := opts.loadBenchmark(name)
 	if err != nil {
@@ -112,21 +116,16 @@ func runSweepCell(opts Options, name string, period uint64) (SweepCell, error) {
 	if err != nil {
 		return SweepCell{}, err
 	}
-	intervals := 0
-	var pcs []uint64
-	handler := func(ov *hpm.Overflow) {
-		intervals++
-		pcs = hpm.PCs(ov, pcs[:0])
-		gdet.ObservePCs(pcs)
-		rmon.ProcessOverflow(ov)
-	}
-	if _, err := opts.runStream(bench, period, handler); err != nil {
+	pipe := pipeline.New()
+	pipe.MustRegister(pipeline.NewGPD(gdet))
+	pipe.MustRegister(pipeline.NewRegionMonitor(rmon))
+	if _, err := opts.runStream(bench, period, pipe.Handler()); err != nil {
 		return SweepCell{}, err
 	}
 	cell := SweepCell{
 		Bench:         name,
 		Period:        period,
-		Intervals:     intervals,
+		Intervals:     pipe.Intervals(),
 		GPDChanges:    gdet.PhaseChanges(),
 		GPDStableFrac: gdet.StableFraction(),
 		UCRMedian:     rmon.UCRMedian(),

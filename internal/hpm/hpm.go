@@ -71,7 +71,10 @@ type Config struct {
 	JitterSeed uint64
 }
 
-// Monitor is the simulated performance monitoring unit.
+// Monitor is the simulated performance monitoring unit. All of a
+// Monitor's state (sample buffer, seeded jitter PRNG, counters) is
+// per-instance: a Monitor is single-owner like the executor driving it,
+// and concurrent runs each construct their own.
 type Monitor struct {
 	period   uint64
 	jitter   float64

@@ -56,7 +56,9 @@ func (l *Loop) Name() string { return fmt.Sprintf("%v-%v", l.start, l.end) }
 
 // Loops returns the procedure's natural loops in ascending header-address
 // order. Loops sharing a header are merged (standard natural-loop
-// normalization). The result is computed once and cached.
+// normalization). The result is computed once and cached; NewProgram
+// forces the computation at construction so that a validated Program is
+// read-only (and shareable across goroutines) from then on.
 func (p *Procedure) Loops() []*Loop {
 	if p.loops != nil {
 		return p.loops

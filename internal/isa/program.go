@@ -47,6 +47,12 @@ func (p *Procedure) BlockAt(addr Addr) *Block {
 
 // Program is a complete synthetic binary: procedures in ascending address
 // order over a flat text segment.
+//
+// A validated Program is immutable and safe to share: NewProgram runs the
+// loop analysis eagerly for every procedure, so all reads (ProcAt,
+// KindAt, Loops, InnermostLoopAt, ...) are side-effect free afterwards.
+// Many concurrent runs — e.g. the experiments package's parallel sweep
+// workers — may therefore monitor the same *Program without copying it.
 type Program struct {
 	// Procs lists the program's procedures in ascending address order.
 	Procs []*Procedure
@@ -113,6 +119,13 @@ func NewProgram(procs []*Procedure) (*Program, error) {
 				return nil, fmt.Errorf("isa: %s block %d calls unknown procedure %q", p.Name, bi, b.CallTarget)
 			}
 		}
+	}
+	// Run the loop analysis now: Loops() memoizes into the procedure on
+	// first call, and doing that here — instead of lazily under the first
+	// monitoring thread that asks — is what makes the finished Program
+	// read-only and thus shareable across concurrent runs.
+	for _, p := range procs {
+		p.Loops()
 	}
 	return &Program{Procs: procs, byName: byName}, nil
 }

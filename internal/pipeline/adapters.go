@@ -1,0 +1,236 @@
+package pipeline
+
+// Adapters wrapping each of the repo's detector families behind the
+// PhaseDetector interface. Each adapter owns whatever scratch state its
+// detector needs per interval (PC buffers, last-verdict storage) and
+// reuses it across intervals, so the fan-out adds no per-interval
+// allocations to the monitoring hot path. Verdict payloads point into
+// that reused storage — valid until the adapter's next ObserveInterval.
+
+import (
+	"regionmon/internal/altdetect"
+	"regionmon/internal/gpd"
+	"regionmon/internal/hpm"
+	"regionmon/internal/lpd"
+	"regionmon/internal/region"
+)
+
+// Default detector names used by the adapter constructors.
+const (
+	NameGPD        = "gpd"
+	NameRegions    = "regions"
+	NameBBV        = "bbv"
+	NameWorkingSet = "working-set"
+	NameCPI        = "cpi"
+	NameDPI        = "dpi"
+)
+
+// GPD adapts the centroid-based global detector. Payload: *gpd.Verdict.
+type GPD struct {
+	det  *gpd.Detector
+	name string
+	pcs  []uint64 // scratch, reused across intervals
+	last gpd.Verdict
+}
+
+// NewGPD wraps det under the default name.
+func NewGPD(det *gpd.Detector) *GPD { return NewNamedGPD(NameGPD, det) }
+
+// NewNamedGPD wraps det under an explicit name (for pipelines carrying
+// several centroid detectors, e.g. threshold ablations).
+func NewNamedGPD(name string, det *gpd.Detector) *GPD {
+	return &GPD{det: det, name: name}
+}
+
+// Name implements PhaseDetector.
+func (g *GPD) Name() string { return g.name }
+
+// Detector exposes the wrapped centroid detector.
+func (g *GPD) Detector() *gpd.Detector { return g.det }
+
+// Last returns the most recent verdict (zero before the first interval).
+func (g *GPD) Last() gpd.Verdict { return g.last }
+
+// ObserveInterval implements PhaseDetector.
+func (g *GPD) ObserveInterval(ov *hpm.Overflow) Verdict {
+	g.pcs = hpm.PCs(ov, g.pcs[:0])
+	g.last = g.det.ObservePCs(g.pcs)
+	return Verdict{
+		Detector:    g.name,
+		Stable:      g.last.State == gpd.Stable,
+		PhaseChange: g.last.PhaseChange,
+		Payload:     &g.last,
+	}
+}
+
+// RegionMonitor adapts the region monitoring framework (UCR accounting,
+// formation, per-region LPD). Payload: *region.Report.
+//
+// The unified verdict condenses the per-region picture: Stable reports
+// that the sample-weighted majority of this interval's monitored samples
+// landed in locally stable regions; PhaseChange reports that at least one
+// region crossed its stable boundary this interval. Consumers needing the
+// full per-region detail read the payload.
+type RegionMonitor struct {
+	mon  *region.Monitor
+	name string
+	last region.Report
+
+	stableW float64 // sample-weighted locally-stable accumulation
+	totalW  float64
+}
+
+// NewRegionMonitor wraps mon under the default name.
+func NewRegionMonitor(mon *region.Monitor) *RegionMonitor {
+	return NewNamedRegionMonitor(NameRegions, mon)
+}
+
+// NewNamedRegionMonitor wraps mon under an explicit name.
+func NewNamedRegionMonitor(name string, mon *region.Monitor) *RegionMonitor {
+	return &RegionMonitor{mon: mon, name: name}
+}
+
+// Name implements PhaseDetector.
+func (r *RegionMonitor) Name() string { return r.name }
+
+// Monitor exposes the wrapped region monitor.
+func (r *RegionMonitor) Monitor() *region.Monitor { return r.mon }
+
+// Last returns the most recent report (shares storage with the payload;
+// valid until the next interval).
+func (r *RegionMonitor) Last() *region.Report { return &r.last }
+
+// WeightedStableFraction returns the whole-run sample-weighted share of
+// monitored samples that landed in locally stable regions — the
+// aggregate the paper's RTO-LPD accounting and the detector-panel
+// experiment both report.
+func (r *RegionMonitor) WeightedStableFraction() float64 {
+	if r.totalW == 0 {
+		return 0
+	}
+	return r.stableW / r.totalW
+}
+
+// PhaseChanges returns the total per-region stable→unstable count, summed
+// over the currently monitored regions (Figure 13's aggregate).
+func (r *RegionMonitor) PhaseChanges() int {
+	n := 0
+	for _, reg := range r.mon.Regions() {
+		n += reg.Detector.PhaseChanges()
+	}
+	return n
+}
+
+// ObserveInterval implements PhaseDetector.
+func (r *RegionMonitor) ObserveInterval(ov *hpm.Overflow) Verdict {
+	r.last = r.mon.ProcessOverflow(ov)
+	var stableW, totalW float64
+	change := false
+	for i := range r.last.Verdicts {
+		rv := &r.last.Verdicts[i]
+		if rv.Verdict.PhaseChange {
+			change = true
+		}
+		if rv.Samples > 0 {
+			w := float64(rv.Samples)
+			totalW += w
+			if rv.Verdict.State == lpd.Stable {
+				stableW += w
+			}
+		}
+	}
+	r.stableW += stableW
+	r.totalW += totalW
+	return Verdict{
+		Detector:    r.name,
+		Stable:      totalW > 0 && stableW*2 > totalW,
+		PhaseChange: change,
+		Payload:     &r.last,
+	}
+}
+
+// altDetector is the shared shape of the Section 4 related-work schemes.
+type altDetector interface {
+	Observe(ov *hpm.Overflow) altdetect.Verdict
+}
+
+// Alt adapts either Section 4 related-work scheme (basic-block vectors or
+// working-set signatures). Payload: *altdetect.Verdict. These schemes
+// have no multi-state machine: Stable is simply "no change flagged this
+// interval", and every flagged change is a phase change.
+type Alt struct {
+	det  altDetector
+	name string
+	last altdetect.Verdict
+}
+
+// NewBBV wraps a basic-block-vector detector under the default name.
+func NewBBV(det *altdetect.BBV) *Alt { return &Alt{det: det, name: NameBBV} }
+
+// NewWorkingSet wraps a working-set-signature detector under the default
+// name.
+func NewWorkingSet(det *altdetect.WorkingSet) *Alt {
+	return &Alt{det: det, name: NameWorkingSet}
+}
+
+// NewNamedAlt wraps any detector with the altdetect Observe shape under an
+// explicit name.
+func NewNamedAlt(name string, det altDetector) *Alt {
+	return &Alt{det: det, name: name}
+}
+
+// Name implements PhaseDetector.
+func (a *Alt) Name() string { return a.name }
+
+// Last returns the most recent verdict.
+func (a *Alt) Last() altdetect.Verdict { return a.last }
+
+// ObserveInterval implements PhaseDetector.
+func (a *Alt) ObserveInterval(ov *hpm.Overflow) Verdict {
+	a.last = a.det.Observe(ov)
+	return Verdict{
+		Detector:    a.name,
+		Stable:      !a.last.Changed,
+		PhaseChange: a.last.Changed,
+		Payload:     &a.last,
+	}
+}
+
+// Perf adapts a performance-characteristic tracker (gpd.PerfTracker) over
+// any scalar per-interval metric. Payload: *gpd.PerfVerdict. Stable is
+// "value inside the band"; a flagged change is a phase change in the
+// performance characteristics (the paper's CPI/DPI signal).
+type Perf struct {
+	tr     *gpd.PerfTracker
+	name   string
+	metric func(*hpm.Overflow) float64
+	last   gpd.PerfVerdict
+}
+
+// NewCPI wraps tr over the interval CPI metric.
+func NewCPI(tr *gpd.PerfTracker) *Perf { return NewPerf(NameCPI, tr, hpm.CPI) }
+
+// NewDPI wraps tr over the interval DPI metric.
+func NewDPI(tr *gpd.PerfTracker) *Perf { return NewPerf(NameDPI, tr, hpm.DPI) }
+
+// NewPerf wraps tr over an arbitrary per-interval metric.
+func NewPerf(name string, tr *gpd.PerfTracker, metric func(*hpm.Overflow) float64) *Perf {
+	return &Perf{tr: tr, name: name, metric: metric}
+}
+
+// Name implements PhaseDetector.
+func (p *Perf) Name() string { return p.name }
+
+// Tracker exposes the wrapped tracker.
+func (p *Perf) Tracker() *gpd.PerfTracker { return p.tr }
+
+// ObserveInterval implements PhaseDetector.
+func (p *Perf) ObserveInterval(ov *hpm.Overflow) Verdict {
+	p.last = p.tr.Observe(p.metric(ov))
+	return Verdict{
+		Detector:    p.name,
+		Stable:      !p.last.Changed,
+		PhaseChange: p.last.Changed,
+		Payload:     &p.last,
+	}
+}

@@ -184,7 +184,10 @@ type RegionVerdict struct {
 	Samples int
 }
 
-// Report summarizes one overflow's worth of monitoring.
+// Report summarizes one overflow's worth of monitoring. The Verdicts
+// slice is reused across intervals: like hpm.Overflow.Samples, it is
+// valid only until the next ProcessOverflow call, so consumers that
+// retain verdicts must copy them.
 type Report struct {
 	// Seq is the overflow sequence number.
 	Seq int
@@ -219,6 +222,15 @@ type Monitor struct {
 
 	ucrHistory []float64
 	loopCount  map[*isa.Loop]int // scratch for formation
+
+	// Per-interval scratch, reused across ProcessOverflow calls so the
+	// monitoring hot path stays allocation-free in steady state.
+	ucrScratch     []isa.Addr      // UCR PCs of the current interval
+	idScratch      []int           // sorted region IDs
+	verdictScratch []RegionVerdict // backing array for Report.Verdicts
+	stabPC         isa.Addr        // current sample PC for stabVisit
+	stabHit        bool            // current sample landed in a region
+	stabVisit      func(id int)    // distribution callback (built once)
 }
 
 // NewMonitor returns a monitor for prog.
@@ -238,13 +250,22 @@ func NewMonitor(prog *isa.Program, cfg Config) (*Monitor, error) {
 	} else {
 		ix = interval.NewList()
 	}
-	return &Monitor{
+	m := &Monitor{
 		prog:      prog,
 		cfg:       cfg,
 		regions:   make(map[int]*Region),
 		index:     ix,
 		loopCount: make(map[*isa.Loop]int),
-	}, nil
+	}
+	// Built once so sample distribution creates no per-sample closures.
+	m.stabVisit = func(id int) {
+		r := m.regions[id]
+		r.curr[int(m.stabPC-r.Start)/isa.InstrBytes]++
+		r.intervalHits++
+		r.totalSamples++
+		m.stabHit = true
+	}
+	return m, nil
 }
 
 // Regions returns the monitored regions in ID order.
@@ -329,33 +350,28 @@ func (m *Monitor) removeRegion(r *Region) {
 
 // ProcessOverflow runs one interval of region monitoring over the
 // delivered sample buffer and returns the report. It is the monitoring
-// thread's whole job: distribute, form, detect, prune.
+// thread's whole job: distribute, form, detect, prune. The report's
+// Verdicts slice is backed by monitor-owned scratch (see Report).
 func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 	rep := Report{Seq: ov.Seq, TotalSamples: len(ov.Samples)}
 	m.seq = ov.Seq
 
 	// Phase 1: distribute samples. UCR PCs are collected for formation.
-	var ucrPCs []isa.Addr
+	ucrPCs := m.ucrScratch[:0]
 	for i := range ov.Samples {
-		pc := ov.Samples[i].PC
-		hit := false
-		m.index.Stab(uint64(pc), func(id int) {
-			r := m.regions[id]
-			idx := int(pc-r.Start) / isa.InstrBytes
-			r.curr[idx]++
-			r.intervalHits++
-			r.totalSamples++
-			hit = true
-		})
-		if hit {
+		m.stabPC = ov.Samples[i].PC
+		m.stabHit = false
+		m.index.Stab(uint64(m.stabPC), m.stabVisit)
+		if m.stabHit {
 			rep.MonitoredSamples++
 		} else {
 			rep.UCRSamples++
-			if pc != 0 {
-				ucrPCs = append(ucrPCs, pc)
+			if m.stabPC != 0 {
+				ucrPCs = append(ucrPCs, m.stabPC)
 			}
 		}
 	}
+	m.ucrScratch = ucrPCs
 	if rep.TotalSamples > 0 {
 		rep.UCRFraction = float64(rep.UCRSamples) / float64(rep.TotalSamples)
 	}
@@ -369,11 +385,13 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 
 	// Phase 3: local phase detection per region, then reset interval
 	// state and prune cold regions.
-	ids := make([]int, 0, len(m.regions))
+	ids := m.idScratch[:0]
 	for id := range m.regions {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	m.idScratch = ids
+	rep.Verdicts = m.verdictScratch[:0]
 	for _, id := range ids {
 		r := m.regions[id]
 		if r.intervalHits > 0 && r.intervalHits < m.cfg.MinObserveSamples {
@@ -402,6 +420,7 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 			rep.Pruned = append(rep.Pruned, r)
 		}
 	}
+	m.verdictScratch = rep.Verdicts
 	return rep
 }
 

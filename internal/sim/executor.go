@@ -13,6 +13,14 @@ import (
 // batches whole loop iterations (see hpm.TryRetireBatch), so simulation
 // cost scales with sample count, not instruction count, without changing
 // any observable sample.
+//
+// An Executor is single-owner: one goroutine calls Run, and all mutable
+// run state (segment position, seeded PRNG, region states, optimization
+// table) lives on the executor itself. The *isa.Program and *Schedule it
+// is given are only read during Run, so concurrent executors may share
+// them once construction is done — though the experiments runners build
+// fresh ones per run anyway, since workload construction is cheap next
+// to simulation.
 type Executor struct {
 	prog  *isa.Program
 	sched *Schedule

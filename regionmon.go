@@ -29,6 +29,7 @@ import (
 	"regionmon/internal/hpm"
 	"regionmon/internal/isa"
 	"regionmon/internal/lpd"
+	"regionmon/internal/pipeline"
 	"regionmon/internal/region"
 	"regionmon/internal/sim"
 	"regionmon/internal/workload"
@@ -227,6 +228,71 @@ func DefaultRegionConfig() RegionConfig { return region.DefaultConfig() }
 func NewRegionMonitor(prog *Program, cfg RegionConfig) (*RegionMonitor, error) {
 	return region.NewMonitor(prog, cfg)
 }
+
+// Detector pipeline (internal/pipeline): the fan-out layer letting any
+// number of phase detectors observe one sample stream side by side.
+type (
+	// Pipeline fans one overflow stream out to N registered detectors.
+	Pipeline = pipeline.Pipeline
+	// PhaseDetector is the common detector interface.
+	PhaseDetector = pipeline.PhaseDetector
+	// DetectorVerdict is a detector's unified per-interval event.
+	DetectorVerdict = pipeline.Verdict
+	// DetectorStats aggregates one detector's whole-run counters.
+	DetectorStats = pipeline.DetectorStats
+	// PipelineReport is the merged per-interval delivery (reused across
+	// intervals; copy to retain).
+	PipelineReport = pipeline.IntervalReport
+	// Observer is a per-interval pipeline hook.
+	Observer = pipeline.Observer
+	// GPDAdapter presents a GlobalDetector as a PhaseDetector.
+	GPDAdapter = pipeline.GPD
+	// RegionAdapter presents a RegionMonitor as a PhaseDetector.
+	RegionAdapter = pipeline.RegionMonitor
+	// AltAdapter presents a related-work detector as a PhaseDetector.
+	AltAdapter = pipeline.Alt
+	// PerfAdapter presents a PerfTracker as a PhaseDetector.
+	PerfAdapter = pipeline.Perf
+)
+
+// Default detector names within a pipeline.
+const (
+	DetectorGPD        = pipeline.NameGPD
+	DetectorRegions    = pipeline.NameRegions
+	DetectorBBV        = pipeline.NameBBV
+	DetectorWorkingSet = pipeline.NameWorkingSet
+	DetectorCPI        = pipeline.NameCPI
+	DetectorDPI        = pipeline.NameDPI
+)
+
+// NewPipeline returns an empty detector pipeline.
+func NewPipeline() *Pipeline { return pipeline.New() }
+
+// AdaptGPD presents det as a pipeline PhaseDetector named DetectorGPD.
+func AdaptGPD(det *GlobalDetector) *GPDAdapter { return pipeline.NewGPD(det) }
+
+// AdaptRegionMonitor presents mon as a pipeline PhaseDetector named
+// DetectorRegions.
+func AdaptRegionMonitor(mon *RegionMonitor) *RegionAdapter {
+	return pipeline.NewRegionMonitor(mon)
+}
+
+// AdaptBBV presents det as a pipeline PhaseDetector named DetectorBBV.
+func AdaptBBV(det *BBVDetector) *AltAdapter { return pipeline.NewBBV(det) }
+
+// AdaptWorkingSet presents det as a pipeline PhaseDetector named
+// DetectorWorkingSet.
+func AdaptWorkingSet(det *WorkingSetDetector) *AltAdapter {
+	return pipeline.NewWorkingSet(det)
+}
+
+// AdaptCPI presents tr as a pipeline PhaseDetector over the interval CPI
+// metric, named DetectorCPI.
+func AdaptCPI(tr *PerfTracker) *PerfAdapter { return pipeline.NewCPI(tr) }
+
+// AdaptDPI presents tr as a pipeline PhaseDetector over the interval DPI
+// metric, named DetectorDPI.
+func AdaptDPI(tr *PerfTracker) *PerfAdapter { return pipeline.NewDPI(tr) }
 
 // Runtime optimization (internal/adore).
 type (

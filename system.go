@@ -5,12 +5,16 @@ import (
 
 	"regionmon/internal/gpd"
 	"regionmon/internal/hpm"
+	"regionmon/internal/pipeline"
 	"regionmon/internal/region"
 	"regionmon/internal/sim"
 )
 
-// IntervalReport is delivered to a System's observer after every sampling
-// interval (sample-buffer overflow), carrying both detectors' views.
+// IntervalReport is delivered to a System's legacy observer (Observe)
+// after every sampling interval (sample-buffer overflow), carrying both
+// built-in detectors' views. New code should prefer AddObserver, which
+// receives the pipeline's merged report covering every registered
+// detector.
 type IntervalReport struct {
 	// Seq is the overflow sequence number.
 	Seq int
@@ -19,7 +23,8 @@ type IntervalReport struct {
 	// Global is the centroid detector's verdict.
 	Global GlobalVerdict
 	// Regions is the region monitor's report (UCR, formation, per-region
-	// verdicts).
+	// verdicts). Its Verdicts slice is reused across intervals; copy to
+	// retain.
 	Regions RegionReport
 }
 
@@ -41,19 +46,24 @@ type SystemStats struct {
 
 // System is the convenience harness most users want: a program and a
 // schedule wired to the sampling monitor, with the centroid global
-// detector and the region monitoring framework both attached. Construct
-// with NewSystem, optionally register an observer, then Run.
+// detector and the region monitoring framework both attached through a
+// detector pipeline. Construct with NewSystem, optionally register
+// observers or extra detectors via Pipeline(), then Run.
+//
+// A System (and the pipeline underneath it) is single-owner: one
+// goroutine calls Run. Scaling across cores means running many
+// independent Systems in parallel (see the experiments sweep runner),
+// never sharing one.
 type System struct {
 	prog *Program
 
-	exec     *sim.Executor
-	mon      *hpm.Monitor
-	gdet     *gpd.Detector
-	rmon     *region.Monitor
-	observer func(IntervalReport)
+	exec *sim.Executor
+	mon  *hpm.Monitor
+	pipe *pipeline.Pipeline
+	ga   *pipeline.GPD
+	ra   *pipeline.RegionMonitor
 
-	intervals int
-	pcs       []uint64
+	legacySlot int // pipeline observer slot backing Observe; -1 when unused
 }
 
 // SystemConfig bundles a System's tunables; the zero value of each field
@@ -82,18 +92,21 @@ func NewSystem(prog *Program, sched *Schedule, cfg SystemConfig) (*System, error
 	if cfg.Region != nil {
 		rcfg = *cfg.Region
 	}
-	s := &System{prog: prog}
+	s := &System{prog: prog, legacySlot: -1}
 	gdet, err := gpd.New(gcfg)
 	if err != nil {
 		return nil, err
 	}
-	s.gdet = gdet
 	rmon, err := region.NewMonitor(prog, rcfg)
 	if err != nil {
 		return nil, err
 	}
-	s.rmon = rmon
-	mon, err := hpm.New(cfg.Sampling, s.onOverflow)
+	s.pipe = pipeline.New()
+	s.ga = pipeline.NewGPD(gdet)
+	s.ra = pipeline.NewRegionMonitor(rmon)
+	s.pipe.MustRegister(s.ga)
+	s.pipe.MustRegister(s.ra)
+	mon, err := hpm.New(cfg.Sampling, func(ov *hpm.Overflow) { s.pipe.ProcessOverflow(ov) })
 	if err != nil {
 		return nil, err
 	}
@@ -106,39 +119,64 @@ func NewSystem(prog *Program, sched *Schedule, cfg SystemConfig) (*System, error
 	return s, nil
 }
 
-// Observe registers fn to be called after every sampling interval. At most
-// one observer is supported; a second call replaces the first.
-func (s *System) Observe(fn func(IntervalReport)) { s.observer = fn }
+// Observe registers fn to be called after every sampling interval.
+//
+// Deprecated: Observe keeps its historical replacement semantics — a
+// second call replaces the first call's observer (only the observer
+// Observe itself registered; hooks added via AddObserver or directly on
+// the pipeline are untouched). New code should use AddObserver, which
+// supports any number of observers and delivers the full pipeline
+// report.
+func (s *System) Observe(fn func(IntervalReport)) {
+	var hook Observer
+	if fn != nil {
+		hook = func(rep *PipelineReport) {
+			fn(IntervalReport{
+				Seq:     rep.Seq,
+				Cycle:   rep.Cycle,
+				Global:  s.ga.Last(),
+				Regions: *s.ra.Last(),
+			})
+		}
+	}
+	if s.legacySlot < 0 {
+		s.legacySlot = s.pipe.AddObserver(hook)
+		return
+	}
+	s.pipe.SetObserver(s.legacySlot, hook)
+}
+
+// AddObserver attaches a per-interval hook to the System's pipeline and
+// returns its slot. Any number of observers may be attached; they run in
+// attachment order after every detector has observed the interval.
+func (s *System) AddObserver(fn Observer) int { return s.pipe.AddObserver(fn) }
+
+// Pipeline exposes the System's detector pipeline, e.g. to register
+// additional detectors (BBV, working-set, CPI trackers) before Run or to
+// read per-detector aggregate stats after.
+func (s *System) Pipeline() *Pipeline { return s.pipe }
 
 // GlobalDetector exposes the attached centroid detector.
-func (s *System) GlobalDetector() *GlobalDetector { return s.gdet }
+func (s *System) GlobalDetector() *GlobalDetector { return s.ga.Detector() }
 
 // RegionMonitor exposes the attached region monitor.
-func (s *System) RegionMonitor() *RegionMonitor { return s.rmon }
+func (s *System) RegionMonitor() *RegionMonitor { return s.ra.Monitor() }
 
 // Executor exposes the underlying executor (e.g. to deploy optimizations
 // manually).
 func (s *System) Executor() *Executor { return s.exec }
 
-func (s *System) onOverflow(ov *hpm.Overflow) {
-	s.intervals++
-	s.pcs = hpm.PCs(ov, s.pcs[:0])
-	gv := s.gdet.ObservePCs(s.pcs)
-	rep := s.rmon.ProcessOverflow(ov)
-	if s.observer != nil {
-		s.observer(IntervalReport{Seq: ov.Seq, Cycle: ov.Cycle, Global: gv, Regions: rep})
-	}
-}
-
 // Run executes the schedule to completion and returns the run summary.
 func (s *System) Run() SystemStats {
 	res := s.exec.Run()
+	gdet := s.ga.Detector()
+	rmon := s.ra.Monitor()
 	return SystemStats{
 		Exec:                 res,
-		Intervals:            s.intervals,
-		GlobalPhaseChanges:   s.gdet.PhaseChanges(),
-		GlobalStableFraction: s.gdet.StableFraction(),
-		UCRMedian:            s.rmon.UCRMedian(),
-		Regions:              len(s.rmon.Regions()),
+		Intervals:            s.pipe.Intervals(),
+		GlobalPhaseChanges:   gdet.PhaseChanges(),
+		GlobalStableFraction: gdet.StableFraction(),
+		UCRMedian:            rmon.UCRMedian(),
+		Regions:              len(rmon.Regions()),
 	}
 }
