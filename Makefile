@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet lint test race bench check
 
 all: check
 
@@ -9,6 +9,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Run the phaselint suite (internal/lint): single-owner leak, determinism,
+# hot-path allocation and payload-switch exhaustiveness checks over the
+# whole module.
+lint:
+	$(GO) run ./cmd/phaselint ./...
 
 test:
 	$(GO) test ./...
@@ -25,4 +31,4 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSystemRun|BenchmarkFig13' -benchtime 1x -benchmem ./.
 
-check: vet build test race bench
+check: vet build lint test race bench

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"regionmon"
+)
+
+// TestBuildReportSmoke runs a reduced grid through buildReport and checks
+// the report's shape: the sequential run plus one run per worker count,
+// identical parallel results, and JSON encodability.
+func TestBuildReportSmoke(t *testing.T) {
+	opts := regionmon.QuickExperimentOptions()
+	names := regionmon.Fig13BenchmarkNames()[:2]
+
+	rep, err := buildReport(opts, names, "quick", []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grid.Cells != len(names)*len(opts.Periods) {
+		t.Errorf("grid cells = %d; want %d", rep.Grid.Cells, len(names)*len(opts.Periods))
+	}
+	if rep.Scale != "quick" {
+		t.Errorf("scale = %q; want %q", rep.Scale, "quick")
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("got %d runs; want 2 (sequential + one parallel)", len(rep.Runs))
+	}
+	if rep.Runs[0].Mode != "sequential" || rep.Runs[0].Workers != 1 {
+		t.Errorf("first run = %+v; want sequential with 1 worker", rep.Runs[0])
+	}
+	if rep.Runs[1].Mode != "parallel" || rep.Runs[1].Workers != 2 {
+		t.Errorf("second run = %+v; want parallel with 2 workers", rep.Runs[1])
+	}
+	if !rep.Deterministic {
+		t.Error("parallel sweep results differ from sequential")
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report does not encode to JSON: %v", err)
+	}
+}

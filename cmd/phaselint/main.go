@@ -1,0 +1,93 @@
+// Command phaselint runs the repo's contract analyzers over the module:
+//
+//   - singleowner: values of //lint:single-owner types must not leak into
+//     goroutines, channels, or package-level variables;
+//   - determinism: no wall-clock reads, no global math/rand draws, and no
+//     map-range iteration feeding ordered results in deterministic packages
+//     (annotate intentional timing sites with //lint:allow determinism);
+//   - hotpath: no allocating constructs in ObserveInterval/ProcessOverflow
+//     or anything they statically call;
+//   - payloadswitch: type switches over //lint:payload types must cover the
+//     whole registry or carry a default.
+//
+// Usage:
+//
+//	go run ./cmd/phaselint [./...]
+//
+// The only accepted package pattern is ./... (the whole module); the tool
+// exists to hold the global invariants, so partial runs are not offered.
+// Exits 1 if any analyzer reports a finding, printing one
+// file:line:col: [analyzer] message line per finding.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"regionmon/internal/lint/analysis"
+	"regionmon/internal/lint/determinism"
+	"regionmon/internal/lint/hotpath"
+	"regionmon/internal/lint/loader"
+	"regionmon/internal/lint/payloadswitch"
+	"regionmon/internal/lint/singleowner"
+)
+
+// Suite returns the analyzers phaselint runs, with determinism scoped to
+// the packages whose outputs the experiment harness asserts byte-stable:
+// the facade, internal detectors/pipeline, and the CLIs that print reports.
+// examples/ are excluded — they are documentation, free to print timings.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		singleowner.Analyzer,
+		determinism.NewAnalyzer(
+			"regionmon",
+			"regionmon/internal/...",
+			"regionmon/cmd/...",
+		),
+		hotpath.Analyzer,
+		payloadswitch.Analyzer,
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "phaselint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	for _, a := range args {
+		if a != "./..." {
+			return fmt.Errorf("unsupported argument %q (phaselint always checks the whole module; pass ./... or nothing)", a)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, err := loader.FindModuleRoot(wd)
+	if err != nil {
+		return err
+	}
+	prog, err := loader.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	findings, err := analysis.Run(prog, Suite())
+	if err != nil {
+		return err
+	}
+	for _, f := range findings {
+		pos := prog.Fset.Position(f.Diagnostic.Pos)
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, f.Analyzer.Name, f.Diagnostic.Message)
+	}
+	if len(findings) > 0 {
+		return fmt.Errorf("%d finding(s)", len(findings))
+	}
+	return nil
+}

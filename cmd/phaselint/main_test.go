@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysis"
+	"regionmon/internal/lint/loader"
+)
+
+// TestModuleIsClean runs the full phaselint suite over the module and
+// requires zero findings — the machine-checked form of the concurrency,
+// determinism and hot-path contracts the docs promise.
+func TestModuleIsClean(t *testing.T) {
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(prog, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: [%s] %s", prog.Fset.Position(f.Diagnostic.Pos), f.Analyzer.Name, f.Diagnostic.Message)
+	}
+}
+
+// TestRejectsPartialPatterns pins the ./...-only contract.
+func TestRejectsPartialPatterns(t *testing.T) {
+	if err := run([]string{"./internal/..."}); err == nil {
+		t.Fatal("run accepted a partial package pattern; want an error")
+	}
+}

@@ -56,16 +56,9 @@ func main() {
 		return
 	}
 
-	var pol adore.Policy
-	switch *policy {
-	case "gpd":
-		pol = adore.PolicyGPD
-	case "lpd":
-		pol = adore.PolicyLPD
-	case "none":
-		pol = adore.PolicyNone
-	default:
-		fmt.Fprintf(os.Stderr, "rto: unknown policy %q\n", *policy)
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rto:", err)
 		os.Exit(1)
 	}
 
@@ -75,6 +68,20 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
+}
+
+// parsePolicy maps the -policy flag value to a controller policy.
+func parsePolicy(s string) (adore.Policy, error) {
+	switch s {
+	case "gpd":
+		return adore.PolicyGPD, nil
+	case "lpd":
+		return adore.PolicyLPD, nil
+	case "none":
+		return adore.PolicyNone, nil
+	default:
+		return adore.PolicyNone, fmt.Errorf("unknown policy %q (want gpd, lpd or none)", s)
+	}
 }
 
 func runOne(bench string, period uint64, buffer int, scale float64, pol adore.Policy, selfmon bool, maxEvents int) (adore.RunResult, error) {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"regionmon/internal/adore"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want adore.Policy
+	}{
+		{"gpd", adore.PolicyGPD},
+		{"lpd", adore.PolicyLPD},
+		{"none", adore.PolicyNone},
+	}
+	for _, c := range cases {
+		got, err := parsePolicy(c.in)
+		if err != nil {
+			t.Errorf("parsePolicy(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("parsePolicy(%q) = %v; want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := parsePolicy("adaptive"); err == nil {
+		t.Error("parsePolicy accepted an unknown policy")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out strings.Builder
+		for {
+			n, err := r.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- out.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	return out
+}
+
+func TestRunOneSmoke(t *testing.T) {
+	res, err := runOne("181.mcf", 100_000, 16, 0.0005, adore.PolicyLPD, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != adore.PolicyLPD {
+		t.Errorf("result policy = %v; want %v", res.Policy, adore.PolicyLPD)
+	}
+	if res.Sim.Overflows == 0 {
+		t.Error("smoke run saw no sample-buffer overflows")
+	}
+	if len(res.Events) > 4 {
+		t.Errorf("MaxEvents=4 but got %d events", len(res.Events))
+	}
+	out := captureStdout(t, func() error { printResult(res); return nil })
+	for _, want := range []string{"policy", "actual cycles", "intervals"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printResult output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCompareSmoke(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runCompare("181.mcf", 100_000, 16, 0.0005)
+	})
+	for _, want := range []string{"no-RTO", "RTO-ORIG(gpd)", "RTO-LPD", "Figure 17"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runCompare output missing %q:\n%s", want, out)
+		}
+	}
+}

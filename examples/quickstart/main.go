@@ -58,15 +58,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Watch both detectors through the pipeline report: each registered
+	// detector contributes one verdict per interval, with the detector's
+	// full output in the payload.
 	fmt.Println("interval  GPD state  |  region        samples   r       LPD state")
-	sys.Observe(func(rep regionmon.IntervalReport) {
-		for _, rv := range rep.Regions.Verdicts {
+	sys.AddObserver(func(rep *regionmon.PipelineReport) {
+		global := rep.Verdict(regionmon.DetectorGPD).Payload.(*regionmon.GlobalVerdict)
+		regions := rep.Verdict(regionmon.DetectorRegions).Payload.(*regionmon.RegionReport)
+		for _, rv := range regions.Verdicts {
 			marker := ""
 			if rv.Verdict.PhaseChange {
 				marker = "  <-- local phase change"
 			}
 			fmt.Printf("%8d  %-9v  |  %-12s %8d   %+.3f  %-13v%s\n",
-				rep.Seq, rep.Global.State,
+				rep.Seq, global.State,
 				rv.Region.Name(), rv.Samples, rv.Verdict.R, rv.Verdict.State, marker)
 		}
 	})

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 
+	"regionmon/internal/altdetect"
 	"regionmon/internal/gpd"
 	"regionmon/internal/hpm"
 	"regionmon/internal/isa"
@@ -258,6 +259,10 @@ type patchState struct {
 // enabled, then the governing detector — GPD's centroid or the region
 // monitor) on one pipeline, and the controller is a single dispatch loop
 // over each interval's merged verdicts.
+//
+// Like the System facade, an RTO is single-owner: one goroutine calls Run.
+//
+//lint:single-owner
 type RTO struct {
 	cfg  Config
 	prog *isa.Program
@@ -414,6 +419,9 @@ func (r *RTO) onOverflow(ov *hpm.Overflow) {
 			r.gpdControl(v, ov)
 		case *region.Report:
 			r.lpdControl(v, ov)
+		case *altdetect.Verdict:
+			// Comparison-only detectors (BBV, working-set signatures) ride
+			// along for the ablation studies; they drive no control action.
 		}
 	}
 }

@@ -114,7 +114,10 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Verdict is the outcome of observing one interval.
+// Verdict is the outcome of observing one interval. It is the pipeline
+// payload the GPD adapter publishes.
+//
+//lint:payload
 type Verdict struct {
 	// State is the detector state after the observation.
 	State State

@@ -75,6 +75,8 @@ type Config struct {
 // Monitor's state (sample buffer, seeded jitter PRNG, counters) is
 // per-instance: a Monitor is single-owner like the executor driving it,
 // and concurrent runs each construct their own.
+//
+//lint:single-owner
 type Monitor struct {
 	period   uint64
 	jitter   float64

@@ -1,0 +1,17 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysistest"
+	"regionmon/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, ".", determinism.NewAnalyzer("a"), "a")
+}
+
+// TestScope: a package outside the deterministic set is never flagged.
+func TestScope(t *testing.T) {
+	analysistest.Run(t, ".", determinism.NewAnalyzer("unrelated/..."), "b")
+}

@@ -1,0 +1,98 @@
+// Package a seeds determinism violations: wall-clock reads, global RNG
+// draws, and map-order-dependent result building.
+package a
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// WallClock reads real time inside deterministic code.
+func WallClock() int64 {
+	t := time.Now() // want "wall-clock read time.Now in deterministic package a"
+	return t.UnixNano()
+}
+
+// Elapsed measures with Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since in deterministic package a"
+}
+
+// AllowedTiming is an annotated intentional timing site: no diagnostic.
+func AllowedTiming() time.Duration {
+	start := time.Now() //lint:allow determinism -- intentional wall-clock measurement
+	work()
+	//lint:allow determinism -- intentional wall-clock measurement
+	return time.Since(start)
+}
+
+// AllowedWholeFunc is a timing harness allowed at function granularity.
+//
+//lint:allow determinism -- this whole function is a timing harness
+func AllowedWholeFunc() (time.Time, time.Time) {
+	return time.Now(), time.Now()
+}
+
+func work() {}
+
+// GlobalDraw uses the process-global generator.
+func GlobalDraw() float64 {
+	return rand.Float64() // want "global math/rand draw rand.Float64 in deterministic package a"
+}
+
+// GlobalShuffle permutes with the global generator.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand draw rand.Shuffle"
+}
+
+// SeededDraw is the approved pattern: no diagnostics.
+func SeededDraw(seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, 0x5EED))
+	return rng.Float64()
+}
+
+// MapOrderLeak accumulates map elements in iteration order.
+func MapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration feeds an ordered slice"
+	}
+	return out
+}
+
+// CollectThenSort is the approved idiom: no diagnostics.
+func CollectThenSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WorklistScratch appends only to a slice declared inside the loop body —
+// per-iteration scratch whose order cannot leak across iterations: no
+// diagnostics.
+func WorklistScratch(graph map[int][]int) int {
+	visited := 0
+	for root, succs := range graph {
+		var stack []int
+		stack = append(stack, root)
+		stack = append(stack, succs...)
+		for len(stack) > 0 {
+			stack = stack[:len(stack)-1]
+			visited++
+		}
+	}
+	return visited
+}
+
+// SliceRange is not a map range: no diagnostics.
+func SliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

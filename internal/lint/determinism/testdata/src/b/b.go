@@ -1,0 +1,8 @@
+// Package b sits outside the deterministic set: wall-clock reads here are
+// not the determinism analyzer's business.
+package b
+
+import "time"
+
+// FreeClock is unconstrained (package not in the deterministic set).
+func FreeClock() time.Time { return time.Now() }

@@ -1,0 +1,320 @@
+// Package hotpath turns the repo's runtime allocation gates
+// (TestSystemRunAllocs, pipeline's TestHotPathAllocs) into a compile-time
+// check: the monitoring hot path — every ObserveInterval / ProcessOverflow
+// method and everything those methods statically call within the module —
+// must not contain allocating constructs. The paper's premise is that
+// continuous monitoring is only viable because the per-interval work is
+// cheap (ADORE's <1% overhead); a stray fmt.Sprintf or closure literal in
+// an interval handler silently breaks that.
+//
+// Flagged inside hot-path-reachable functions:
+//
+//   - function literals (closure allocation; build them once at
+//     construction time instead, like region.Monitor's stabVisit);
+//   - calls into package fmt (Sprintf and friends allocate);
+//   - make(...), new(...), map and slice composite literals, and &T{}
+//     (per-interval heap allocation; reuse scratch owned by the detector);
+//   - append to a slice the function itself declared empty with no
+//     capacity (un-preallocated accumulation; reuse a scratch field
+//     sliced to [:0], or preallocate with a capacity).
+//
+// Deliberate escapes:
+//
+//   - constructs inside panic(...) arguments are ignored (failure paths
+//     do not run per interval);
+//   - a function whose doc comment carries //lint:allow hotpath is a
+//     declared cold sub-path (e.g. region formation, which runs only when
+//     the UCR trips the threshold): it is neither checked nor traversed.
+//
+// Calls through interfaces or function values cannot be resolved
+// statically and are not traversed — the runtime gates still cover those;
+// this analyzer is the cheap always-on layer, not a replacement.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"regionmon/internal/lint/analysis"
+	"regionmon/internal/lint/loader"
+)
+
+// rootNames are the hot-path entry points.
+var rootNames = map[string]bool{"ObserveInterval": true, "ProcessOverflow": true}
+
+// Analyzer is the hotpath check.
+const name = "hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "forbid allocating constructs in ObserveInterval/ProcessOverflow and everything they statically call",
+	Run:  run,
+}
+
+// funcDecl pairs a declaration with its defining package.
+type funcDecl struct {
+	pkg  *loader.Package
+	decl *ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) error {
+	// Index every module function once, then walk the static call graph
+	// from the roots. Diagnostics are only emitted for functions declared
+	// in the pass's own package, so the module-wide walk reports each
+	// site exactly once across the whole run.
+	index := make(map[*types.Func]funcDecl)
+	var roots []*types.Func
+	for _, pkg := range pass.Module {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				index[fn] = funcDecl{pkg: pkg, decl: fd}
+				if rootNames[fd.Name.Name] && fd.Recv != nil {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+
+	// BFS over static calls; remember which root reaches each function
+	// for the diagnostic message.
+	reachedVia := make(map[*types.Func]string)
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := reachedVia[r]; ok {
+			continue
+		}
+		fd := index[r]
+		if analysis.FuncAllows(pass.Fset, fd.decl, name) {
+			continue
+		}
+		reachedVia[r] = funcLabel(r)
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := index[fn]
+		via := reachedVia[fn]
+		for _, callee := range staticCallees(fd, index) {
+			cd := index[callee]
+			if _, seen := reachedVia[callee]; seen {
+				continue
+			}
+			if analysis.FuncAllows(pass.Fset, cd.decl, name) {
+				continue // declared cold sub-path: stop here
+			}
+			reachedVia[callee] = via
+			queue = append(queue, callee)
+		}
+	}
+
+	for fn, via := range reachedVia {
+		fd := index[fn]
+		if fd.pkg != pass.Pkg {
+			continue
+		}
+		checkBody(pass, fd, via)
+	}
+	return nil
+}
+
+// funcLabel renders pkg.Type.Method for diagnostics.
+func funcLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if tn := analysis.NamedOrPointee(recv.Type()); tn != nil {
+			return fn.Pkg().Name() + "." + tn.Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// staticCallees resolves the function's statically-known module callees:
+// plain calls, method calls on concrete receivers, and method values.
+func staticCallees(fd funcDecl, index map[*types.Func]funcDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		var id *ast.Ident
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch fun := e.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			}
+		case *ast.SelectorExpr:
+			// Method/function values used as arguments still put their
+			// body on the hot path if invoked; resolving the selector
+			// covers `hpm.PCs` style uses too. Interface methods resolve
+			// to abstract funcs with no declaration and drop out below.
+			id = e.Sel
+		}
+		if id == nil {
+			return true
+		}
+		if fn, ok := fd.pkg.Info.Uses[id].(*types.Func); ok {
+			if _, inModule := index[fn]; inModule {
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkBody flags allocating constructs in one reachable function.
+func checkBody(pass *analysis.Pass, fd funcDecl, via string) {
+	info := fd.pkg.Info
+	emptyLocals := emptySliceLocals(info, fd.decl)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(info, n) {
+				return false // failure path: not per-interval work
+			}
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "make":
+					pass.Reportf(n.Pos(), "make in monitoring hot path (reachable from %s); allocate once at construction time and reuse", via)
+				case "new":
+					pass.Reportf(n.Pos(), "new in monitoring hot path (reachable from %s); allocate once at construction time and reuse", via)
+				case "append":
+					if len(n.Args) > 0 {
+						if id := appendTarget(n.Args[0]); id != nil {
+							if obj := info.Uses[id]; obj != nil && emptyLocals[obj] {
+								pass.Reportf(n.Pos(), "append to un-preallocated slice %s in monitoring hot path (reachable from %s); reuse a scratch field sliced to [:0] or preallocate with capacity", id.Name, via)
+							}
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					pass.Reportf(n.Pos(), "fmt.%s allocates in monitoring hot path (reachable from %s)", fn.Name(), via)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal allocates in monitoring hot path (reachable from %s); build it once at construction time (see region.Monitor's stabVisit)", via)
+			return false // the literal's body is not itself hot-path code here
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch types.Unalias(tv.Type).Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal allocates in monitoring hot path (reachable from %s)", kindWord(tv.Type), via)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal heap-allocates in monitoring hot path (reachable from %s); reuse detector-owned storage", via)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.decl.Body, visit)
+}
+
+func kindWord(t types.Type) string {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Map:
+		return "map"
+	default:
+		return "slice"
+	}
+}
+
+// isPanicCall reports a call to the panic builtin.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// appendTarget unwraps the append destination to a plain identifier
+// (selector-based targets — scratch fields — are exempt by design).
+func appendTarget(e ast.Expr) *ast.Ident {
+	if id, ok := e.(*ast.Ident); ok {
+		return id
+	}
+	return nil
+}
+
+// emptySliceLocals collects local variables declared as empty slices with
+// no capacity: `var s []T`, `s := []T{}`, `s := make([]T, 0)`.
+func emptySliceLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil && isSlice(obj.Type()) {
+						out[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil || !isSlice(obj.Type()) {
+					continue
+				}
+				if emptySliceExpr(n.Rhs[i]) {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := types.Unalias(t).Underlying().(*types.Slice)
+	return ok
+}
+
+// emptySliceExpr matches `[]T{}` and `make([]T, 0)` (no capacity).
+func emptySliceExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) != 2 {
+			return false
+		}
+		lit, ok := e.Args[1].(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	return false
+}

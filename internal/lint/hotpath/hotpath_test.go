@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysistest"
+	"regionmon/internal/lint/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, ".", hotpath.Analyzer, "a")
+}

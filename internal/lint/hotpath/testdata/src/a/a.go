@@ -1,0 +1,87 @@
+// Package a seeds hot-path allocation violations: Detector.ObserveInterval
+// mirrors the repo's per-interval detector shape; its callees show the
+// static-call traversal; Cold shows the declared-cold escape hatch.
+package a
+
+import "fmt"
+
+// Overflow stands in for hpm.Overflow.
+type Overflow struct {
+	Samples []int
+}
+
+// Verdict stands in for pipeline.Verdict.
+type Verdict struct {
+	Stable bool
+	Label  string
+}
+
+// Detector allocates in its interval handler — every construct flagged.
+type Detector struct {
+	scratch []int
+	sink    []int
+}
+
+// ObserveInterval is a hot-path root.
+func (d *Detector) ObserveInterval(ov *Overflow) Verdict {
+	f := func() int { return len(ov.Samples) } // want "closure literal allocates in monitoring hot path"
+	_ = f
+	label := fmt.Sprintf("n=%d", len(ov.Samples)) // want "fmt.Sprintf allocates in monitoring hot path"
+	tmp := make([]int, len(ov.Samples))           // want "make in monitoring hot path"
+	_ = tmp
+	var grown []int
+	for _, s := range ov.Samples {
+		grown = append(grown, s) // want "append to un-preallocated slice grown in monitoring hot path"
+	}
+	_ = grown
+	pair := []int{1, 2} // want "slice literal allocates in monitoring hot path"
+	_ = pair
+	v := &Verdict{Label: label} // want "&composite literal heap-allocates in monitoring hot path"
+	d.helper(ov)
+	return *v
+}
+
+// helper is statically called from the root: its allocations are hot too.
+func (d *Detector) helper(ov *Overflow) {
+	m := map[int]int{} // want "map literal allocates in monitoring hot path"
+	_ = m
+	d.cold(ov)
+}
+
+// cold is a declared cold sub-path (formation-style): not traversed.
+//
+//lint:allow hotpath -- runs only on the rare formation trigger
+func (d *Detector) cold(ov *Overflow) {
+	d.sink = append([]int{}, ov.Samples...)
+}
+
+// Clean reuses detector-owned scratch: the approved shape, no diagnostics.
+type Clean struct {
+	scratch []int
+	last    Verdict
+}
+
+// ProcessOverflow is a hot-path root with zero steady-state allocations.
+func (c *Clean) ProcessOverflow(ov *Overflow) *Verdict {
+	if len(ov.Samples) < 0 {
+		panic(fmt.Sprintf("impossible: %d", len(ov.Samples))) // failure path: exempt
+	}
+	c.scratch = c.scratch[:0]
+	for _, s := range ov.Samples {
+		c.scratch = append(c.scratch, s)
+	}
+	pre := make([]int, 0, len(ov.Samples)) // want "make in monitoring hot path"
+	_ = pre
+	c.last = Verdict{Stable: len(c.scratch) > 0}
+	return &c.last
+}
+
+// NotHot is never reached from a root: allocate freely, no diagnostics.
+func NotHot(n int) []int {
+	out := make([]int, 0, n)
+	f := func(i int) int { return i * i }
+	for i := 0; i < n; i++ {
+		out = append(out, f(i))
+	}
+	return out
+}

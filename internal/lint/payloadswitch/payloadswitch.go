@@ -1,0 +1,91 @@
+// Package payloadswitch enforces exhaustive dispatch over the pipeline's
+// detector payloads. pipeline.Verdict.Payload is an `any` carrying one of
+// the registered payload types (marked //lint:payload on their
+// declarations: gpd.Verdict, region.Report, altdetect.Verdict,
+// gpd.PerfVerdict). A consumer that type-switches over a payload — the
+// adore.RTO controller's single dispatch loop is the canonical one — must
+// either name every registered payload type or carry a default clause;
+// otherwise the day a new detector family lands, its verdicts would fall
+// silently through the controller.
+//
+// A type switch is "over detector payloads" when at least one of its case
+// types is a registered payload type (by value or pointer); the analyzer
+// then requires the rest of the registry to be covered too.
+package payloadswitch
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"regionmon/internal/lint/analysis"
+)
+
+// Analyzer is the payloadswitch check.
+var Analyzer = &analysis.Analyzer{
+	Name: "payloadswitch",
+	Doc:  "require type switches over registered detector payload types to cover every payload or carry a default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := analysis.MarkedTypes(pass.Fset, pass.Module, "payload")
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, sw, marked)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.TypeSwitchStmt, marked map[*types.TypeName]bool) {
+	covered := make(map[*types.TypeName]bool)
+	hasDefault := false
+	relevant := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.Pkg.Info.Types[expr]
+			if !ok {
+				continue // e.g. `case nil:`
+			}
+			if tn := analysis.NamedOrPointee(tv.Type); tn != nil && marked[tn] {
+				covered[tn] = true
+				relevant = true
+			}
+		}
+	}
+	if !relevant || hasDefault {
+		return
+	}
+	var missing []*types.TypeName
+	for tn := range marked {
+		if !covered[tn] {
+			missing = append(missing, tn)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		return missing[i].Pkg().Path()+"."+missing[i].Name() < missing[j].Pkg().Path()+"."+missing[j].Name()
+	})
+	pass.Reportf(sw.Pos(),
+		"type switch over detector payloads misses registered payload type(s) %s; add the case(s) or a default clause",
+		analysis.TypeNames(missing))
+}

@@ -1,0 +1,12 @@
+package payloadswitch_test
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysistest"
+	"regionmon/internal/lint/payloadswitch"
+)
+
+func TestPayloadSwitch(t *testing.T) {
+	analysistest.Run(t, ".", payloadswitch.Analyzer, "a")
+}

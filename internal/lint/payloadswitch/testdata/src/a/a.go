@@ -1,0 +1,78 @@
+// Package a seeds payloadswitch violations over a three-type payload
+// registry mirroring the pipeline's detector payloads.
+package a
+
+// GlobalVerdict is a registered payload.
+//
+//lint:payload
+type GlobalVerdict struct{ Stable bool }
+
+// RegionReport is a registered payload.
+//
+//lint:payload
+type RegionReport struct{ Regions int }
+
+// PerfVerdict is a registered payload.
+//
+//lint:payload
+type PerfVerdict struct{ Changed bool }
+
+// Unregistered is an ordinary type.
+type Unregistered struct{}
+
+// Dispatch misses PerfVerdict and has no default.
+func Dispatch(payload any) int {
+	switch payload.(type) { // want "type switch over detector payloads misses registered payload type\\(s\\) a.PerfVerdict"
+	case *GlobalVerdict:
+		return 1
+	case *RegionReport:
+		return 2
+	}
+	return 0
+}
+
+// DispatchAll covers the whole registry: no diagnostic.
+func DispatchAll(payload any) int {
+	switch payload.(type) {
+	case *GlobalVerdict:
+		return 1
+	case *RegionReport:
+		return 2
+	case *PerfVerdict:
+		return 3
+	}
+	return 0
+}
+
+// DispatchDefault escapes through a default clause: no diagnostic.
+func DispatchDefault(payload any) int {
+	switch payload.(type) {
+	case *GlobalVerdict:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DispatchMixed misses two, reported together.
+func DispatchMixed(payload any) int {
+	switch p := payload.(type) { // want "misses registered payload type\\(s\\) a.PerfVerdict, a.RegionReport"
+	case *GlobalVerdict:
+		_ = p
+		return 1
+	case nil:
+		return -1
+	}
+	return 0
+}
+
+// NotPayloadSwitch involves no registered payloads: no diagnostic.
+func NotPayloadSwitch(v any) int {
+	switch v.(type) {
+	case *Unregistered:
+		return 1
+	case int:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+// Package singleowner enforces the pipeline's central concurrency
+// contract: types declaring themselves single-owner (//lint:single-owner
+// on the type declaration — pipeline.Pipeline, hpm.Monitor, sim.Executor,
+// region.Monitor, the detector adapters, …) must stay confined to the
+// goroutine that constructed them. Scaling across cores means many
+// independent (executor, monitor, pipeline) stacks, never sharing one —
+// the property the parallel sweep runners' determinism and the -race
+// suite both rest on.
+//
+// The analyzer flags the three escape routes that break confinement:
+//
+//  1. a single-owner value declared outside a `go` statement's function
+//     literal but referenced inside it (captured by the new goroutine),
+//     or passed to / invoked by the spawned call;
+//  2. a single-owner value sent on a channel;
+//  3. a package-level variable of (or pointing to) a single-owner type.
+//
+// Constructing the value inside the goroutine is fine — that is exactly
+// the worker-owned-stack pattern the sweep runners use.
+package singleowner
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"regionmon/internal/lint/analysis"
+)
+
+// Analyzer is the singleowner check.
+var Analyzer = &analysis.Analyzer{
+	Name: "singleowner",
+	Doc:  "flag single-owner values escaping their owning goroutine (goroutine capture, channel send, package-level var)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := analysis.MarkedTypes(pass.Fset, pass.Module, "single-owner")
+	if len(marked) == 0 {
+		return nil
+	}
+	owned := func(t types.Type) *types.TypeName {
+		if tn := analysis.NamedOrPointee(t); tn != nil && marked[tn] {
+			return tn
+		}
+		return nil
+	}
+
+	for _, file := range pass.Pkg.Files {
+		// Package-level variables.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pass.Pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if tn := owned(obj.Type()); tn != nil {
+						pass.Reportf(name.Pos(),
+							"package-level var %s holds single-owner type %s.%s; single-owner values must not outlive one goroutine's run",
+							name.Name, tn.Pkg().Name(), tn.Name())
+					}
+				}
+			}
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if tv, ok := pass.Pkg.Info.Types[n.Value]; ok {
+					if tn := owned(tv.Type); tn != nil {
+						pass.Reportf(n.Arrow,
+							"single-owner type %s.%s sent on a channel; hand the receiving goroutine a constructor instead",
+							tn.Pkg().Name(), tn.Name())
+					}
+				}
+			case *ast.GoStmt:
+				checkGo(pass, n, owned)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGo flags single-owner values crossing into the spawned goroutine:
+// captured free variables of a function-literal body, arguments of the
+// spawned call, and the receiver of a spawned method call.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, owned func(types.Type) *types.TypeName) {
+	call := g.Call
+	// Arguments to the spawned call (both `go f(exec)` and
+	// `go func(e *sim.Executor) {...}(exec)`).
+	for _, arg := range call.Args {
+		if tv, ok := pass.Pkg.Info.Types[arg]; ok {
+			if tn := owned(tv.Type); tn != nil {
+				pass.Reportf(arg.Pos(),
+					"single-owner type %s.%s passed into a goroutine; construct it inside the goroutine instead",
+					tn.Pkg().Name(), tn.Name())
+			}
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		// Free variables: identifiers used inside the literal whose
+		// declaration lies outside it.
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+			if !ok || obj.IsField() {
+				return true
+			}
+			if obj.Pos() >= fun.Pos() && obj.Pos() <= fun.End() {
+				return true // declared inside the literal: worker-owned
+			}
+			if tn := owned(obj.Type()); tn != nil {
+				pass.Reportf(id.Pos(),
+					"single-owner type %s.%s captured by goroutine closure; construct it inside the goroutine instead",
+					tn.Pkg().Name(), tn.Name())
+			}
+			return true
+		})
+	case *ast.SelectorExpr:
+		// Method value spawned directly: `go exec.Run()`.
+		if sel, ok := pass.Pkg.Info.Selections[fun]; ok {
+			if tn := owned(sel.Recv()); tn != nil {
+				pass.Reportf(fun.Pos(),
+					"single-owner type %s.%s driven from a new goroutine; construct it inside the goroutine instead",
+					tn.Pkg().Name(), tn.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package singleowner_test
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysistest"
+	"regionmon/internal/lint/singleowner"
+)
+
+func TestSingleOwner(t *testing.T) {
+	analysistest.Run(t, ".", singleowner.Analyzer, "a")
+}

@@ -1,0 +1,86 @@
+// Package a seeds singleowner violations: Executor mirrors the repo's
+// single-owner run-state types; Tool is an ordinary sharable type.
+package a
+
+import "sync"
+
+// Executor owns mutable per-run state.
+//
+//lint:single-owner
+type Executor struct {
+	n int
+}
+
+// NewExecutor constructs a fresh executor.
+func NewExecutor() *Executor { return &Executor{} }
+
+// Run consumes the executor.
+func (e *Executor) Run() int {
+	e.n++
+	return e.n
+}
+
+// Tool has no ownership contract.
+type Tool struct{ n int }
+
+// global holds a single-owner value across goroutines.
+var global *Executor // want "package-level var global holds single-owner type a.Executor"
+
+// sharedTool is fine: Tool is not single-owner.
+var sharedTool *Tool
+
+// Captured leaks an outer executor into a spawned goroutine.
+func Captured() {
+	e := NewExecutor()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Run() // want "single-owner type a.Executor captured by goroutine closure"
+	}()
+	wg.Wait()
+}
+
+// PassedAsArg leaks the executor through the spawned call's arguments.
+func PassedAsArg() {
+	e := NewExecutor()
+	done := make(chan int)
+	go func(x *Executor) { // keep the literal's own param clean
+		done <- x.Run()
+	}(e) // want "single-owner type a.Executor passed into a goroutine"
+	<-done
+}
+
+// MethodGoroutine drives a single-owner value from a fresh goroutine.
+func MethodGoroutine() {
+	e := NewExecutor()
+	go e.Run() // want "single-owner type a.Executor driven from a new goroutine"
+}
+
+// SentOnChannel hands the executor to whoever receives.
+func SentOnChannel(ch chan *Executor) {
+	e := NewExecutor()
+	ch <- e // want "single-owner type a.Executor sent on a channel"
+}
+
+// WorkerOwned is the approved pattern: each goroutine constructs its own
+// stack. No diagnostics.
+func WorkerOwned(results []int) {
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			e := NewExecutor()
+			results[slot] = e.Run()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ToolEverywhere shows non-marked types escape freely. No diagnostics.
+func ToolEverywhere(ch chan *Tool) {
+	tl := &Tool{}
+	go func() { tl.n++ }()
+	ch <- tl
+}

@@ -182,6 +182,10 @@ type Detector struct {
 	changes int
 	stable  int
 	total   int
+
+	// topk is the reusable working storage for the top-k metric, sized at
+	// construction so Observe stays allocation-free (nil for other metrics).
+	topk *stats.TopKScratch
 }
 
 // New returns a detector for a region of numInstrs instructions.
@@ -194,6 +198,9 @@ func New(numInstrs int, cfg Config) (*Detector, error) {
 	}
 	d := &Detector{cfg: cfg, n: numInstrs, ref: make([]int64, numInstrs)}
 	d.rt = cfg.EffectiveRT(numInstrs)
+	if cfg.Metric == MetricTopK {
+		d.topk = stats.NewTopKScratch(numInstrs, cfg.TopK)
+	}
 	return d, nil
 }
 
@@ -269,7 +276,7 @@ func (d *Detector) similarity(curr []int64) float64 {
 		if k > d.n {
 			k = d.n
 		}
-		return stats.TopKOverlap(d.ref, curr, k)
+		return d.topk.Overlap(d.ref, curr, k)
 	default:
 		r, ok := stats.Pearson(d.ref, curr)
 		if !ok {

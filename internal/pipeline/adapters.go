@@ -26,6 +26,8 @@ const (
 )
 
 // GPD adapts the centroid-based global detector. Payload: *gpd.Verdict.
+//
+//lint:single-owner
 type GPD struct {
 	det  *gpd.Detector
 	name string
@@ -71,6 +73,8 @@ func (g *GPD) ObserveInterval(ov *hpm.Overflow) Verdict {
 // landed in locally stable regions; PhaseChange reports that at least one
 // region crossed its stable boundary this interval. Consumers needing the
 // full per-region detail read the payload.
+//
+//lint:single-owner
 type RegionMonitor struct {
 	mon  *region.Monitor
 	name string
@@ -158,6 +162,8 @@ type altDetector interface {
 // working-set signatures). Payload: *altdetect.Verdict. These schemes
 // have no multi-state machine: Stable is simply "no change flagged this
 // interval", and every flagged change is a phase change.
+//
+//lint:single-owner
 type Alt struct {
 	det  altDetector
 	name string
@@ -200,6 +206,8 @@ func (a *Alt) ObserveInterval(ov *hpm.Overflow) Verdict {
 // any scalar per-interval metric. Payload: *gpd.PerfVerdict. Stable is
 // "value inside the band"; a flagged change is a phase change in the
 // performance characteristics (the paper's CPI/DPI signal).
+//
+//lint:single-owner
 type Perf struct {
 	tr     *gpd.PerfTracker
 	name   string

@@ -117,6 +117,8 @@ type Observer func(*IntervalReport)
 // Pipeline fans one overflow stream out to N registered detectors and
 // delivers the merged IntervalReport to its observers. Single-owner; see
 // the package comment for the concurrency contract.
+//
+//lint:single-owner
 type Pipeline struct {
 	dets      []PhaseDetector
 	stats     []DetectorStats

@@ -187,7 +187,10 @@ type RegionVerdict struct {
 // Report summarizes one overflow's worth of monitoring. The Verdicts
 // slice is reused across intervals: like hpm.Overflow.Samples, it is
 // valid only until the next ProcessOverflow call, so consumers that
-// retain verdicts must copy them.
+// retain verdicts must copy them. It is the pipeline payload the
+// RegionMonitor adapter publishes.
+//
+//lint:payload
 type Report struct {
 	// Seq is the overflow sequence number.
 	Seq int
@@ -210,7 +213,11 @@ type Report struct {
 	Verdicts []RegionVerdict
 }
 
-// Monitor is the region monitoring framework.
+// Monitor is the region monitoring framework. Single-owner: the
+// monitoring goroutine alone calls ProcessOverflow, and reports alias
+// monitor-owned scratch.
+//
+//lint:single-owner
 type Monitor struct {
 	prog *isa.Program
 	cfg  Config
@@ -430,6 +437,12 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 // (straight-line code, loops crossing procedure boundaries) form nothing —
 // the paper's persistent-UCR limitation. The triggering interval's samples
 // are replayed into the new regions so detection starts immediately.
+//
+// Formation only runs when the UCR fraction trips the threshold — a rare
+// event, not per-interval work — so it is free to allocate (new regions,
+// their detectors, histogram storage).
+//
+//lint:allow hotpath -- region formation is a declared cold sub-path
 func (m *Monitor) formRegions(ucrPCs []isa.Addr) []*Region {
 	clear(m.loopCount)
 	for _, pc := range ucrPCs {

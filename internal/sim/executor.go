@@ -21,6 +21,8 @@ import (
 // them once construction is done — though the experiments runners build
 // fresh ones per run anyway, since workload construction is cheap next
 // to simulation.
+//
+//lint:single-owner
 type Executor struct {
 	prog  *isa.Program
 	sched *Schedule

@@ -150,6 +150,84 @@ func TopKOverlap(x, y []int64, k int) float64 {
 	return float64(overlap) / float64(k)
 }
 
+// TopKScratch is caller-owned working storage for scratch-based top-k
+// overlap. Detectors that compare histograms every interval size one at
+// construction time (NewTopKScratch) so the per-interval computation
+// performs no allocations; TopKOverlap above stays as the convenient
+// allocating form for offline analysis and tests.
+type TopKScratch struct {
+	xs, ys []int
+	used   []bool
+	inY    []bool
+}
+
+// NewTopKScratch returns scratch for histograms of up to n entries and
+// top-k size k.
+func NewTopKScratch(n, k int) *TopKScratch {
+	if k > n {
+		k = n
+	}
+	return &TopKScratch{
+		xs:   make([]int, 0, k),
+		ys:   make([]int, 0, k),
+		used: make([]bool, n),
+		inY:  make([]bool, n),
+	}
+}
+
+// Overlap computes TopKOverlap(x, y, k) in s without allocating. x and y
+// must be no longer than the n the scratch was built for.
+func (s *TopKScratch) Overlap(x, y []int64, k int) float64 {
+	if len(x) != len(y) || len(x) == 0 || k <= 0 {
+		return 0
+	}
+	if k > len(x) {
+		k = len(x)
+	}
+	s.xs = s.selectTopK(x, k, s.xs[:0])
+	s.ys = s.selectTopK(y, k, s.ys[:0])
+	inY := s.inY[:len(y)]
+	for _, i := range s.ys {
+		inY[i] = true
+	}
+	overlap := 0
+	for _, i := range s.xs {
+		if inY[i] {
+			overlap++
+		}
+	}
+	for _, i := range s.ys {
+		inY[i] = false
+	}
+	return float64(overlap) / float64(k)
+}
+
+// selectTopK appends the indices of the k largest entries of v to dst,
+// ties broken by lower index (same selection as topKIndices).
+func (s *TopKScratch) selectTopK(v []int64, k int, dst []int) []int {
+	used := s.used[:len(v)]
+	for i := range used {
+		used[i] = false
+	}
+	for j := 0; j < k; j++ {
+		best := -1
+		for i, val := range v {
+			if used[i] {
+				continue
+			}
+			if best == -1 || val > v[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		dst = append(dst, best)
+	}
+	return dst
+}
+
 // topKIndices returns the indices of the k largest values in v.
 // Simple selection; k is small (typically <= 16) in detector use.
 func topKIndices(v []int64, k int) []int {

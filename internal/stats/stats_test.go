@@ -184,6 +184,52 @@ func TestTopKOverlap(t *testing.T) {
 	}
 }
 
+// TestTopKScratchMatchesTopKOverlap checks the scratch form against the
+// allocating reference on a seeded random stream, including repeated reuse
+// of one scratch.
+func TestTopKScratchMatchesTopKOverlap(t *testing.T) {
+	const n = 24
+	s := NewTopKScratch(n, 5)
+	seed := uint64(0x70CC)
+	next := func() int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int64(seed >> 56)
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := make([]int64, n)
+		y := make([]int64, n)
+		for i := range x {
+			x[i], y[i] = next(), next()
+		}
+		for _, k := range []int{0, 1, 3, 5} {
+			want := TopKOverlap(x, y, k)
+			if got := s.Overlap(x, y, k); got != want {
+				t.Fatalf("trial %d k=%d: scratch Overlap = %v; TopKOverlap = %v", trial, k, got, want)
+			}
+		}
+	}
+	if o := s.Overlap([]int64{1}, []int64{1, 2}, 1); o != 0 {
+		t.Errorf("scratch Overlap mismatched lengths = %v; want 0", o)
+	}
+}
+
+// TestTopKScratchNoAllocs pins the hot-path contract: once constructed,
+// Overlap performs no allocations.
+func TestTopKScratchNoAllocs(t *testing.T) {
+	const n = 64
+	s := NewTopKScratch(n, 8)
+	x := make([]int64, n)
+	y := make([]int64, n)
+	for i := range x {
+		x[i] = int64(i * 7 % 13)
+		y[i] = int64(i * 5 % 11)
+	}
+	allocs := testing.AllocsPerRun(100, func() { s.Overlap(x, y, 8) })
+	if allocs != 0 {
+		t.Errorf("TopKScratch.Overlap allocates %v per run; want 0", allocs)
+	}
+}
+
 func TestMeanStdDevMedian(t *testing.T) {
 	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	if m := Mean(v); !almost(m, 5, 1e-12) {

@@ -54,6 +54,8 @@ type SystemStats struct {
 // goroutine calls Run. Scaling across cores means running many
 // independent Systems in parallel (see the experiments sweep runner),
 // never sharing one.
+//
+//lint:single-owner
 type System struct {
 	prog *Program
 
