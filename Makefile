@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench check
+.PHONY: all build vet lint test race bench soak soak-short check
 
 all: check
 
@@ -31,4 +31,15 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSystemRun|BenchmarkFig13' -benchtime 1x -benchmem ./.
 
-check: vet build lint test race bench
+# Long-run hardening harness (cmd/soak): millions of intervals through
+# the full detector stack, asserting a steady heap and byte-identical
+# verdict streams across mid-run kill/restore. `soak` is the full
+# acceptance run; `soak-short` is the minutes-free variant folded into
+# `make check` and CI.
+soak:
+	$(GO) run ./cmd/soak -intervals 2000000
+
+soak-short:
+	$(GO) run ./cmd/soak -intervals 60000
+
+check: vet build lint test race bench soak-short

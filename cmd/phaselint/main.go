@@ -6,7 +6,9 @@
 //     map-range iteration feeding ordered results in deterministic packages
 //     (annotate intentional timing sites with //lint:allow determinism);
 //   - hotpath: no allocating constructs in ObserveInterval/ProcessOverflow
-//     or anything they statically call;
+//     or anything they statically call (Snapshot/Restore and the
+//     AppendSnapshot/RestoreSnapshot pair are cold by contract and stop
+//     the walk);
 //   - payloadswitch: type switches over //lint:payload types must cover the
 //     whole registry or carry a default.
 //

@@ -30,7 +30,7 @@ func main() {
 		buffer  = flag.Int("buffer", 512, "sample buffer size")
 		policy  = flag.String("policy", "lpd", "controller: gpd, lpd or none")
 		scale   = flag.Float64("scale", 1, "work scale (1 = ~10G cycles)")
-		events  = flag.Int("events", 12, "controller events to print")
+		events  = flag.Int("events", 12, "most recent controller events to retain and print (<0 = all)")
 		compare = flag.Bool("compare", false, "run gpd and lpd and report the speedup")
 		selfmon = flag.Bool("selfmonitor", false, "enable optimization self-monitoring (lpd)")
 	)

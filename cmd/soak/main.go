@@ -1,0 +1,84 @@
+// Command soak is the long-run hardening harness: it drives the full
+// detector stack (pipeline, GPD, region monitoring, BBV, working set,
+// CPI tracker) for millions of synthetic sampling intervals and checks
+// the two properties ISSUE-grade deployments depend on:
+//
+//  1. Bounded state: with every per-interval series bounded, post-GC
+//     HeapAlloc must not grow from the post-warmup baseline to the end
+//     of the run (within a small fixed budget).
+//  2. Checkpoint fidelity: a run that is killed and restored from a
+//     Snapshot several times mid-stream must emit a verdict stream
+//     byte-identical (FNV-1a digest equality over every verdict field)
+//     to an uninterrupted reference run.
+//
+// Usage:
+//
+//	soak                       # 2M intervals, full comparison (make soak)
+//	soak -intervals 60000      # short form (make soak-short, CI)
+//	soak -seed 9 -restores 7   # different workload / checkpoint count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"regionmon/internal/soak"
+)
+
+func main() {
+	var (
+		intervals = flag.Int("intervals", 2_000_000, "sampling intervals to drive per run")
+		samples   = flag.Int("samples", 96, "samples per interval (overflow buffer size)")
+		seed      = flag.Uint64("seed", 1, "workload generator seed")
+		restores  = flag.Int("restores", 4, "kill/restore cycles in the checkpoint run")
+		heapMiB   = flag.Int("max-heap-growth", 4, "allowed post-warmup heap growth in MiB")
+	)
+	flag.Parse()
+
+	cfg := soak.Config{
+		Intervals:          *intervals,
+		SamplesPerInterval: *samples,
+		Seed:               *seed,
+		MaxHeapGrowth:      uint64(*heapMiB) << 20,
+	}
+
+	start := time.Now() //lint:allow determinism -- progress timing on stderr, not in results
+	fmt.Fprintf(os.Stderr, "soak: reference run, %d intervals x %d samples (seed %d)\n",
+		cfg.Intervals, cfg.SamplesPerInterval, cfg.Seed)
+	ref, err := soak.Run(cfg)
+	if err != nil {
+		fail("reference run", err)
+	}
+	report("reference", ref)
+
+	cfg.RestoreEvery = cfg.Intervals / (*restores + 1)
+	fmt.Fprintf(os.Stderr, "soak: kill/restore run, checkpoint every %d intervals\n", cfg.RestoreEvery)
+	kr, err := soak.Run(cfg)
+	if err != nil {
+		fail("kill/restore run", err)
+	}
+	report("kill/restore", kr)
+
+	if kr.Digest != ref.Digest {
+		fail("verdict comparison", fmt.Errorf("restored stream digest %#x != reference %#x", kr.Digest, ref.Digest))
+	}
+	elapsed := time.Since(start).Round(time.Millisecond) //lint:allow determinism -- harness timing on stderr, not in results
+	fmt.Fprintf(os.Stderr, "soak: PASS in %v — %d restores, digest %#x, heap steady (%.1f MiB)\n",
+		elapsed, kr.Restores, kr.Digest, float64(kr.HeapFinal)/(1<<20))
+}
+
+func report(name string, r soak.Result) {
+	fmt.Fprintf(os.Stderr, "soak: %s done — digest %#x, heap baseline %.1f MiB final %.1f MiB",
+		name, r.Digest, float64(r.HeapBaseline)/(1<<20), float64(r.HeapFinal)/(1<<20))
+	if r.Restores > 0 {
+		fmt.Fprintf(os.Stderr, ", %d restores (%d snapshot bytes)", r.Restores, r.SnapshotBytes)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func fail(stage string, err error) {
+	fmt.Fprintf(os.Stderr, "soak: FAIL (%s): %v\n", stage, err)
+	os.Exit(1)
+}

@@ -108,7 +108,11 @@ type Config struct {
 	// HarmWindow is the number of post-patch intervals averaged before
 	// judging (default 3).
 	HarmWindow int
-	// MaxEvents caps the retained event log (0 = keep everything).
+	// MaxEvents bounds the retained event log: the controller keeps the
+	// *most recent* MaxEvents entries (a ring, with EventsDropped
+	// accounting for evictions). 0 selects DefaultMaxEvents; negative
+	// keeps everything (opt-in retain-all for offline analysis — on a
+	// long run the log would otherwise grow without bound).
 	MaxEvents int
 	// TrackCPI attaches a performance-characteristic tracker over the
 	// interval CPI (the paper's "other metrics of performance, such as
@@ -121,6 +125,10 @@ type Config struct {
 	// CPI configures the tracker (zero value = gpd.DefaultPerfConfig).
 	CPI gpd.PerfConfig
 }
+
+// DefaultMaxEvents is the event-log ring size used when Config.MaxEvents
+// is 0.
+const DefaultMaxEvents = 4096
 
 // DefaultConfig returns a configuration with the paper's detector
 // parameters and moderate optimization effectiveness.
@@ -238,8 +246,12 @@ type RunResult struct {
 	HarmUndos int
 	// Regions is the number of regions monitored at end of run (LPD).
 	Regions int
-	// Events is the controller log (possibly truncated to MaxEvents).
+	// Events is the controller log in chronological order — the most
+	// recent MaxEvents entries (see Config.MaxEvents).
 	Events []Event
+	// EventsDropped counts log entries evicted by the MaxEvents bound
+	// (0 when the whole run fit, or in retain-all mode).
+	EventsDropped int64
 }
 
 // patchState tracks one deployed trace.
@@ -275,12 +287,14 @@ type RTO struct {
 	ra    *pipeline.RegionMonitor // nil unless PolicyLPD
 	cpiAd *pipeline.Perf          // nil unless TrackCPI
 
-	patched   map[sim.Span]*patchState
-	blacklist map[sim.Span]bool
-	events    []Event
-	patches   int
-	unpatches int
-	harmUndos int
+	patched       map[sim.Span]*patchState
+	blacklist     map[sim.Span]bool
+	events        []Event // most-recent ring once the MaxEvents bound is hit
+	eventHead     int     // ring write position (0 while still growing)
+	eventsDropped int64
+	patches       int
+	unpatches     int
+	harmUndos     int
 }
 
 // New constructs an RTO over prog and sched, sampling with hpmCfg.
@@ -369,13 +383,14 @@ func (r *RTO) GlobalDetector() *gpd.Detector {
 func (r *RTO) Run() RunResult {
 	simRes := r.exec.Run()
 	res := RunResult{
-		Policy:       r.cfg.Policy,
-		Sim:          simRes,
-		Patches:      r.patches,
-		Unpatches:    r.unpatches,
-		PhaseChanges: r.phaseChanges(),
-		HarmUndos:    r.harmUndos,
-		Events:       r.events,
+		Policy:        r.cfg.Policy,
+		Sim:           simRes,
+		Patches:       r.patches,
+		Unpatches:     r.unpatches,
+		PhaseChanges:  r.phaseChanges(),
+		HarmUndos:     r.harmUndos,
+		Events:        r.chronologicalEvents(),
+		EventsDropped: r.eventsDropped,
 	}
 	switch r.cfg.Policy {
 	case PolicyGPD:
@@ -399,10 +414,35 @@ func (r *RTO) phaseChanges() int {
 }
 
 func (r *RTO) log(ev Event) {
-	if r.cfg.MaxEvents > 0 && len(r.events) >= r.cfg.MaxEvents {
+	max := r.cfg.MaxEvents
+	if max < 0 {
+		r.events = append(r.events, ev)
 		return
 	}
-	r.events = append(r.events, ev)
+	if max == 0 {
+		max = DefaultMaxEvents
+	}
+	if len(r.events) < max {
+		r.events = append(r.events, ev)
+		return
+	}
+	// Ring full: overwrite the oldest entry so the log always holds the
+	// most recent max events.
+	r.events[r.eventHead] = ev
+	r.eventHead = (r.eventHead + 1) % max
+	r.eventsDropped++
+}
+
+// chronologicalEvents returns the retained log oldest-first, rotating the
+// ring when it has wrapped.
+func (r *RTO) chronologicalEvents() []Event {
+	if r.eventHead == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.eventHead:]...)
+	out = append(out, r.events[:r.eventHead]...)
+	return out
 }
 
 // onOverflow is the monitoring thread: it runs synchronously on every

@@ -1,0 +1,104 @@
+package altdetect
+
+import (
+	"testing"
+
+	"regionmon/internal/hpm"
+	"regionmon/internal/isa"
+)
+
+// altStream generates overflows alternating between the two procedures
+// with occasional out-of-text (idle) intervals.
+func altStream(a, b isa.Addr, n int) []*hpm.Overflow {
+	out := make([]*hpm.Overflow, n)
+	for i := range out {
+		switch {
+		case i%13 == 7:
+			out[i] = ov(i, 50, 0) // idle PCs only
+		case (i/6)%2 == 0:
+			out[i] = ov(i, 100, a, a, b)
+		default:
+			out[i] = ov(i, 100, b)
+		}
+	}
+	return out
+}
+
+func TestBBVSnapshotForkEquality(t *testing.T) {
+	prog, a, b := testProgram(t)
+	const total, at = 60, 23
+	stream := altStream(a, b, total)
+
+	ref, _ := NewBBV(prog, 0.8)
+	forked, _ := NewBBV(prog, 0.8)
+	for i := 0; i < at; i++ {
+		ref.Observe(stream[i])
+		forked.Observe(stream[i])
+	}
+	restored, _ := NewBBV(prog, 0.8)
+	if err := restored.Restore(forked.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := at; i < total; i++ {
+		rv := ref.Observe(stream[i])
+		sv := restored.Observe(stream[i])
+		if rv != sv {
+			t.Fatalf("interval %d: verdict diverged: %+v vs %+v", i, rv, sv)
+		}
+	}
+	if ref.Changes() != restored.Changes() || ref.Intervals() != restored.Intervals() {
+		t.Fatal("counters diverged")
+	}
+}
+
+func TestWorkingSetSnapshotForkEquality(t *testing.T) {
+	prog, a, b := testProgram(t)
+	const total, at = 60, 29
+	stream := altStream(a, b, total)
+
+	ref, _ := NewWorkingSet(prog, 0.5)
+	forked, _ := NewWorkingSet(prog, 0.5)
+	for i := 0; i < at; i++ {
+		ref.Observe(stream[i])
+		forked.Observe(stream[i])
+	}
+	// Snapshot twice: map-backed state must still encode deterministically.
+	s1, s2 := forked.Snapshot(), forked.Snapshot()
+	if string(s1) != string(s2) {
+		t.Fatal("working-set snapshot is not deterministic")
+	}
+	restored, _ := NewWorkingSet(prog, 0.5)
+	if err := restored.Restore(s1); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := at; i < total; i++ {
+		rv := ref.Observe(stream[i])
+		sv := restored.Observe(stream[i])
+		if rv != sv {
+			t.Fatalf("interval %d: verdict diverged: %+v vs %+v", i, rv, sv)
+		}
+	}
+	if ref.Changes() != restored.Changes() || ref.Intervals() != restored.Intervals() {
+		t.Fatal("counters diverged")
+	}
+}
+
+func TestWorkingSetSnapshotRejectsBadBlock(t *testing.T) {
+	prog, a, b := testProgram(t)
+	d, _ := NewWorkingSet(prog, 0.5)
+	d.Observe(ov(0, 10, a, b))
+	snapBytes := d.Snapshot()
+
+	// A single-proc program has fewer blocks; restoring the richer
+	// snapshot into it must fail validation.
+	small := isa.NewBuilder(0x10000)
+	small.Proc("tiny").Code(8, isa.KindALU)
+	sp, err := small.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := NewWorkingSet(sp, 0.5)
+	if err := sd.Restore(snapBytes); err == nil {
+		t.Fatal("expected block-range validation error")
+	}
+}

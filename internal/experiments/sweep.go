@@ -112,7 +112,11 @@ func runSweepCell(opts Options, name string, period uint64) (SweepCell, error) {
 	if err != nil {
 		return SweepCell{}, err
 	}
-	rmon, err := region.NewMonitor(bench.Prog, region.DefaultConfig())
+	// Figure 7 plots the complete per-interval UCR series, so the sweep
+	// opts out of the monitor's bounded-history default.
+	rcfg := region.DefaultConfig()
+	rcfg.UCRHistoryCap = region.RetainAllHistory
+	rmon, err := region.NewMonitor(bench.Prog, rcfg)
 	if err != nil {
 		return SweepCell{}, err
 	}

@@ -1,0 +1,102 @@
+package gpd
+
+import "testing"
+
+// centroidStream deterministically generates centroids with stable
+// plateaus, drifts and one drastic jump, so the fork test crosses every
+// state and exercises the history-reset path.
+func centroidStream(n int) []float64 {
+	out := make([]float64, n)
+	for t := range out {
+		base := 1e6
+		switch {
+		case t >= n/2 && t < n/2+10:
+			base = 5e6 // drastic jump, then a new plateau
+		case t >= n/2+10:
+			base = 5e6 + float64(t%3)*1e3
+		default:
+			base = 1e6 + float64(t%4)*500
+		}
+		out[t] = base
+	}
+	return out
+}
+
+func TestDetectorSnapshotForkEquality(t *testing.T) {
+	const total, at = 100, 37
+	stream := centroidStream(total)
+
+	ref := MustNew(DefaultConfig())
+	forked := MustNew(DefaultConfig())
+	for i := 0; i < at; i++ {
+		ref.Observe(stream[i])
+		forked.Observe(stream[i])
+	}
+	snapBytes := forked.Snapshot()
+
+	restored := MustNew(DefaultConfig())
+	if err := restored.Restore(snapBytes); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if string(restored.Snapshot()) != string(snapBytes) {
+		t.Fatal("restored detector snapshots to different bytes")
+	}
+
+	for i := at; i < total; i++ {
+		rv := ref.Observe(stream[i])
+		sv := restored.Observe(stream[i])
+		if rv != sv {
+			t.Fatalf("interval %d: verdict diverged: ref %+v restored %+v", i, rv, sv)
+		}
+	}
+	if ref.PhaseChanges() != restored.PhaseChanges() || ref.Intervals() != restored.Intervals() {
+		t.Fatalf("counters diverged")
+	}
+}
+
+func TestDetectorSnapshotConfigMismatch(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	d.Observe(100)
+	cfg := DefaultConfig()
+	cfg.HistorySize = 16
+	if err := MustNew(cfg).Restore(d.Snapshot()); err == nil {
+		t.Fatal("expected history-capacity mismatch error")
+	}
+}
+
+func TestPerfTrackerSnapshotForkEquality(t *testing.T) {
+	const total, at = 80, 33
+	mk := func() *PerfTracker {
+		p, err := NewPerfTracker(DefaultPerfConfig())
+		if err != nil {
+			t.Fatalf("NewPerfTracker: %v", err)
+		}
+		return p
+	}
+	value := func(i int) float64 {
+		if i >= 40 && i < 50 {
+			return 3.5 // CPI spike
+		}
+		return 1.2 + float64(i%5)*0.01
+	}
+
+	ref, forked := mk(), mk()
+	for i := 0; i < at; i++ {
+		ref.Observe(value(i))
+		forked.Observe(value(i))
+	}
+	restored := mk()
+	if err := restored.Restore(forked.Snapshot()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := at; i < total; i++ {
+		rv := ref.Observe(value(i))
+		sv := restored.Observe(value(i))
+		if rv != sv {
+			t.Fatalf("interval %d: verdict diverged: %+v vs %+v", i, rv, sv)
+		}
+	}
+	if ref.Changes() != restored.Changes() || ref.Intervals() != restored.Intervals() {
+		t.Fatal("counters diverged")
+	}
+}

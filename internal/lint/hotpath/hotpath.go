@@ -24,7 +24,11 @@
 //     do not run per interval);
 //   - a function whose doc comment carries //lint:allow hotpath is a
 //     declared cold sub-path (e.g. region formation, which runs only when
-//     the UCR trips the threshold): it is neither checked nor traversed.
+//     the UCR trips the threshold): it is neither checked nor traversed;
+//   - checkpointing methods — Snapshot, Restore, AppendSnapshot,
+//     RestoreSnapshot — are cold by contract (they run at checkpoint
+//     boundaries, never per interval) and the walk stops at them without
+//     an annotation.
 //
 // Calls through interfaces or function values cannot be resolved
 // statically and are not traversed — the runtime gates still cover those;
@@ -41,6 +45,18 @@ import (
 
 // rootNames are the hot-path entry points.
 var rootNames = map[string]bool{"ObserveInterval": true, "ProcessOverflow": true}
+
+// coldNames are checkpointing methods that are cold by contract: a
+// Snapshot/Restore pair (and the nested AppendSnapshot/RestoreSnapshot of
+// the pipeline's Snapshotter interface) runs at checkpoint boundaries,
+// never per interval, so reaching one from a hot-path method does not put
+// its body on the hot path.
+var coldNames = map[string]bool{
+	"Snapshot":        true,
+	"Restore":         true,
+	"AppendSnapshot":  true,
+	"RestoreSnapshot": true,
+}
 
 // Analyzer is the hotpath check.
 const name = "hotpath"
@@ -110,6 +126,9 @@ func run(pass *analysis.Pass) error {
 			}
 			if analysis.FuncAllows(pass.Fset, cd.decl, name) {
 				continue // declared cold sub-path: stop here
+			}
+			if coldNames[callee.Name()] {
+				continue // checkpointing method: cold by contract
 			}
 			reachedVia[callee] = via
 			queue = append(queue, callee)

@@ -1,0 +1,89 @@
+package lpd
+
+import (
+	"fmt"
+
+	"regionmon/internal/snap"
+)
+
+// Detector checkpointing. A snapshot captures exactly the mutable
+// observation state — the reference histogram, the Figure 12 state machine
+// position, the last similarity value and the interval counters — and none
+// of the configuration: Restore targets a detector constructed with the
+// same Config and region size, and a resumed detector then produces a
+// byte-identical verdict stream for the same subsequent inputs. The lastR
+// float is stored as exact IEEE bits because empty intervals re-report it
+// verbatim.
+
+const snapshotTag = "lpd"
+
+// AppendSnapshot encodes the detector's mutable state onto e.
+func (d *Detector) AppendSnapshot(e *snap.Encoder) {
+	e.Header(snapshotTag, 1)
+	e.Int(d.n)
+	e.Bool(d.hasRef)
+	e.I64s(d.ref)
+	e.Int(int(d.state))
+	e.F64(d.lastR)
+	e.Int(d.changes)
+	e.Int(d.stable)
+	e.Int(d.total)
+}
+
+// RestoreSnapshot decodes state written by AppendSnapshot into d. The
+// snapshot must come from a detector of the same region size; a mismatch
+// means the caller is restoring into a differently built region and is
+// rejected.
+func (d *Detector) RestoreSnapshot(dec *snap.Decoder) error {
+	dec.Header(snapshotTag, 1)
+	n := dec.Int()
+	hasRef := dec.Bool()
+	ref := dec.I64s()
+	state := State(dec.Int())
+	lastR := dec.F64()
+	changes := dec.Int()
+	stable := dec.Int()
+	total := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != d.n {
+		return fmt.Errorf("lpd: snapshot is for a %d-instruction region, detector has %d", n, d.n)
+	}
+	if len(ref) != d.n {
+		return fmt.Errorf("lpd: snapshot reference has %d entries, want %d", len(ref), d.n)
+	}
+	switch state {
+	case Unstable, LessUnstable, Stable:
+	default:
+		return fmt.Errorf("lpd: snapshot has invalid state %d", int(state))
+	}
+	copy(d.ref, ref)
+	d.hasRef = hasRef
+	d.state = state
+	d.lastR = lastR
+	d.changes = changes
+	d.stable = stable
+	d.total = total
+	return nil
+}
+
+// Snapshot returns the detector's state as a standalone versioned byte
+// snapshot.
+func (d *Detector) Snapshot() []byte {
+	e := snap.NewEncoder()
+	d.AppendSnapshot(e)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// Restore replaces the detector's state from a Snapshot produced by a
+// detector with the same configuration and region size.
+func (d *Detector) Restore(data []byte) error {
+	dec := snap.NewDecoder(data)
+	if err := d.RestoreSnapshot(dec); err != nil {
+		return err
+	}
+	return dec.Finish()
+}

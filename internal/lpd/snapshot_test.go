@@ -1,0 +1,106 @@
+package lpd
+
+import (
+	"testing"
+
+	"regionmon/internal/snap"
+)
+
+// histStream deterministically generates interval histograms with phase
+// shifts and occasional empty intervals, exercising every state-machine
+// path (reference establishment, stable runs, phase changes, empty
+// re-reporting).
+func histStream(n, intervals int) [][]int64 {
+	out := make([][]int64, intervals)
+	lcg := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return lcg >> 33
+	}
+	for t := 0; t < intervals; t++ {
+		h := make([]int64, n)
+		switch {
+		case t%17 == 13:
+			// empty interval
+		case (t/20)%2 == 0:
+			// phase A: hot front half, mild noise
+			for i := 0; i < n/2; i++ {
+				h[i] = 50 + int64(next()%7)
+			}
+		default:
+			// phase B: hot back half
+			for i := n / 2; i < n; i++ {
+				h[i] = 80 + int64(next()%5)
+			}
+		}
+		out[t] = h
+	}
+	return out
+}
+
+func TestSnapshotForkEquality(t *testing.T) {
+	const n, total, at = 32, 120, 47
+	stream := histStream(n, total)
+
+	ref := MustNew(n, DefaultConfig())
+	forked := MustNew(n, DefaultConfig())
+
+	var snapBytes []byte
+	for i := 0; i < at; i++ {
+		ref.Observe(stream[i])
+		forked.Observe(stream[i])
+	}
+	snapBytes = forked.Snapshot()
+
+	restored := MustNew(n, DefaultConfig())
+	if err := restored.Restore(snapBytes); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	// The restored detector re-snapshots to identical bytes.
+	if string(restored.Snapshot()) != string(snapBytes) {
+		t.Fatal("restored detector snapshots to different bytes")
+	}
+
+	for i := at; i < total; i++ {
+		rv := ref.Observe(stream[i])
+		sv := restored.Observe(stream[i])
+		if rv != sv {
+			t.Fatalf("interval %d: verdict diverged: ref %+v restored %+v", i, rv, sv)
+		}
+	}
+	if ref.PhaseChanges() != restored.PhaseChanges() ||
+		ref.StableFraction() != restored.StableFraction() ||
+		ref.Intervals() != restored.Intervals() {
+		t.Fatalf("counters diverged: (%d,%v,%d) vs (%d,%v,%d)",
+			ref.PhaseChanges(), ref.StableFraction(), ref.Intervals(),
+			restored.PhaseChanges(), restored.StableFraction(), restored.Intervals())
+	}
+}
+
+func TestSnapshotSizeMismatch(t *testing.T) {
+	d := MustNew(8, DefaultConfig())
+	d.Observe(make([]int64, 8))
+	if err := MustNew(16, DefaultConfig()).Restore(d.Snapshot()); err == nil {
+		t.Fatal("expected region-size mismatch error")
+	}
+}
+
+func TestSnapshotRejectsCorruptState(t *testing.T) {
+	d := MustNew(4, DefaultConfig())
+	e := snap.NewEncoder()
+	e.Header("lpd", 1)
+	e.Int(4)
+	e.Bool(false)
+	e.I64s(make([]int64, 4))
+	e.Int(99) // invalid state
+	e.F64(0)
+	e.Int(0)
+	e.Int(0)
+	e.Int(0)
+	if err := d.Restore(e.Bytes()); err == nil {
+		t.Fatal("expected invalid-state error")
+	}
+	if err := d.Restore([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected decode error on garbage")
+	}
+}

@@ -1,0 +1,298 @@
+package region
+
+import (
+	"testing"
+
+	"regionmon/internal/hpm"
+	"regionmon/internal/isa"
+)
+
+// TestNewRegionSurvivesQuietFormationInterval is the regression test for
+// the premature-pruning bug: a region formed from a triggering interval
+// whose replayed samples fall below MinObserveSamples must not start the
+// idle clock on its formation interval — with PruneAfter=1 it used to be
+// pruned in the very interval that formed it.
+func TestNewRegionSurvivesQuietFormationInterval(t *testing.T) {
+	prog, l1, _ := testProgram(t)
+	m := newMonitor(t, prog, func(c *Config) {
+		c.MinObserveSamples = 64
+		c.PruneAfter = 1
+	})
+
+	// 32 samples: enough to form (MinRegionSamples=16), below the
+	// observation guard (64).
+	rep := m.ProcessOverflow(overflow(0, 32, spanPCs(l1, 8)...))
+	if !rep.FormationTriggered || len(rep.NewRegions) != 1 {
+		t.Fatalf("expected formation: %+v", rep)
+	}
+	if len(rep.Pruned) != 0 {
+		t.Fatalf("region pruned in its own formation interval: %+v", rep.Pruned)
+	}
+	if len(m.Regions()) != 1 {
+		t.Fatalf("monitor has %d regions after formation; want 1", len(m.Regions()))
+	}
+
+	// A full interval keeps it alive and feeds the detector.
+	rep = m.ProcessOverflow(overflow(1, 128, spanPCs(l1, 8)...))
+	if len(rep.Pruned) != 0 || len(m.Regions()) != 1 {
+		t.Fatalf("active region pruned: %+v", rep.Pruned)
+	}
+	if rep.Verdicts[0].Verdict.Empty {
+		t.Error("full interval reported as empty")
+	}
+
+	// Idle intervals after formation still prune — the exemption covers
+	// only the formation interval itself.
+	rep = m.ProcessOverflow(overflow(2, 0))
+	if len(rep.Pruned) != 1 || len(m.Regions()) != 0 {
+		t.Fatalf("idle region not pruned after formation interval: pruned=%d regions=%d",
+			len(rep.Pruned), len(m.Regions()))
+	}
+}
+
+// TestSparseGuardInvariants pins the sparse-interval contract: a
+// below-guard interval behaves exactly like an empty one (frozen state,
+// re-reported r) and its trickle samples do not leak into the next
+// interval's histogram.
+func TestSparseGuardInvariants(t *testing.T) {
+	prog, l1, _ := testProgram(t)
+	m := newMonitor(t, prog, func(c *Config) { c.MinObserveSamples = 16 })
+	if _, err := m.AddRegion(l1.Start, l1.End); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two full intervals: establish the reference and a real r value.
+	m.ProcessOverflow(overflow(0, 128, spanPCs(l1, 8)...))
+	rep := m.ProcessOverflow(overflow(1, 128, spanPCs(l1, 8)...))
+	prevState := rep.Verdicts[0].Verdict.State
+	prevR := rep.Verdicts[0].Verdict.R
+
+	// Sparse interval: 4 samples, all on one instruction — if they were
+	// fed to the detector they would crater r.
+	rep = m.ProcessOverflow(overflow(2, 4, l1.Start))
+	v := rep.Verdicts[0]
+	if !v.Verdict.Empty {
+		t.Errorf("sparse interval not treated as empty: %+v", v.Verdict)
+	}
+	if v.Verdict.R != prevR {
+		t.Errorf("sparse interval r = %v; want re-reported %v", v.Verdict.R, prevR)
+	}
+	if v.Verdict.State != prevState {
+		t.Errorf("sparse interval moved state %v -> %v", prevState, v.Verdict.State)
+	}
+	if v.Samples != 4 {
+		t.Errorf("Samples = %d; want 4", v.Samples)
+	}
+	// The histogram was zeroed exactly once and stays zeroed.
+	if h := m.Regions()[0].Histogram(); h[0] != 0 {
+		t.Errorf("sparse samples leaked into histogram: %v", h)
+	}
+
+	// The next full interval is judged on its own samples only.
+	rep = m.ProcessOverflow(overflow(3, 128, spanPCs(l1, 8)...))
+	if rep.Verdicts[0].Verdict.Empty {
+		t.Error("full interval after sparse one reported empty")
+	}
+	if r := rep.Verdicts[0].Verdict.R; r < 0.99 {
+		t.Errorf("r = %v after identical full interval; sparse samples leaked", r)
+	}
+}
+
+// TestIdleSampleAccounting pins the idle-sample contract: PC-0 samples are
+// reported in IdleSamples and counted in the UCR fraction, but cannot trip
+// region formation.
+func TestIdleSampleAccounting(t *testing.T) {
+	prog, l1, _ := testProgram(t)
+	m := newMonitor(t, prog, nil)
+
+	// Entirely idle interval: 100% UCR but no formation.
+	rep := m.ProcessOverflow(overflow(0, 64, 0))
+	if rep.IdleSamples != 64 || rep.UCRSamples != 64 {
+		t.Fatalf("IdleSamples=%d UCRSamples=%d; want 64/64", rep.IdleSamples, rep.UCRSamples)
+	}
+	if rep.UCRFraction != 1 {
+		t.Errorf("UCRFraction = %v; want 1 (idle time is unmonitored time)", rep.UCRFraction)
+	}
+	if rep.FormationTriggered {
+		t.Error("idle-only interval tripped formation with nothing to form")
+	}
+
+	// Mostly idle with a hot unmonitored loop: the code-only fraction
+	// (100%) trips formation even though code samples are the minority.
+	samples := make([]hpm.Sample, 64)
+	pcs := spanPCs(l1, 8)
+	for i := range samples {
+		if i < 24 {
+			samples[i] = hpm.Sample{PC: pcs[i%len(pcs)]}
+		} // rest idle at PC 0
+	}
+	rep = m.ProcessOverflow(&hpm.Overflow{Seq: 1, Samples: samples})
+	if rep.IdleSamples != 40 {
+		t.Errorf("IdleSamples = %d; want 40", rep.IdleSamples)
+	}
+	if !rep.FormationTriggered || len(rep.NewRegions) != 1 {
+		t.Errorf("hot unmonitored loop behind idle noise did not form: %+v", rep)
+	}
+}
+
+// TestUCRHistoryBounded is the regression test that the default monitor
+// retains a fixed-size UCR history no matter how long it runs.
+func TestUCRHistoryBounded(t *testing.T) {
+	prog, l1, _ := testProgram(t)
+	m := newMonitor(t, prog, func(c *Config) { c.UCRHistoryCap = 8 })
+	const n = 100
+	for i := 0; i < n; i++ {
+		m.ProcessOverflow(overflow(i, 16, spanPCs(l1, 4)...))
+	}
+	if got := len(m.UCRHistory()); got != 8 {
+		t.Fatalf("UCRHistory length = %d; want 8", got)
+	}
+	if got := m.UCRDropped(); got != n-8 {
+		t.Fatalf("UCRDropped = %d; want %d", got, n-8)
+	}
+	if med := m.UCRMedian(); med < 0 || med > 1 {
+		t.Fatalf("UCRMedian = %v out of range", med)
+	}
+
+	// Default config: bounded at DefaultUCRHistoryCap, not unbounded.
+	md := newMonitor(t, prog, nil)
+	md.ProcessOverflow(overflow(0, 4, spanPCs(l1, 4)...))
+	if md.UCRDropped() != 0 || len(md.UCRHistory()) != 1 {
+		t.Fatal("short default-config run should retain everything")
+	}
+
+	// Retain-everything mode keeps the full series.
+	mu := newMonitor(t, prog, func(c *Config) { c.UCRHistoryCap = RetainAllHistory })
+	for i := 0; i < n; i++ {
+		mu.ProcessOverflow(overflow(i, 16, spanPCs(l1, 4)...))
+	}
+	if got := len(mu.UCRHistory()); got != n {
+		t.Fatalf("retain-all UCRHistory length = %d; want %d", got, n)
+	}
+	if mu.UCRDropped() != 0 {
+		t.Fatalf("retain-all dropped %d", mu.UCRDropped())
+	}
+}
+
+// hardeningStream drives formation, stable phases, sparse intervals,
+// idle stretches and pruning in a fixed pattern.
+func hardeningStream(l1, l2 isa.LoopSpan, n int) []*hpm.Overflow {
+	out := make([]*hpm.Overflow, n)
+	for i := range out {
+		switch {
+		case i%19 == 11:
+			out[i] = overflow(i, 64, 0) // idle interval
+		case i%7 == 3:
+			out[i] = overflow(i, 4, l1.Start) // sparse trickle
+		case (i/25)%2 == 0:
+			out[i] = overflow(i, 192, spanPCs(l1, 8)...)
+		default:
+			out[i] = overflow(i, 192, spanPCs(l2, 12)...)
+		}
+	}
+	return out
+}
+
+// reportsEqual compares the observable content of two reports (regions by
+// identity fields, not pointer).
+func reportsEqual(t *testing.T, a, b Report) bool {
+	t.Helper()
+	if a.Seq != b.Seq || a.TotalSamples != b.TotalSamples ||
+		a.MonitoredSamples != b.MonitoredSamples || a.UCRSamples != b.UCRSamples ||
+		a.IdleSamples != b.IdleSamples || a.UCRFraction != b.UCRFraction ||
+		a.FormationTriggered != b.FormationTriggered ||
+		len(a.NewRegions) != len(b.NewRegions) || len(a.Pruned) != len(b.Pruned) ||
+		len(a.Verdicts) != len(b.Verdicts) {
+		return false
+	}
+	for i := range a.Verdicts {
+		av, bv := a.Verdicts[i], b.Verdicts[i]
+		if av.Region.ID != bv.Region.ID || av.Region.Start != bv.Region.Start ||
+			av.Region.End != bv.Region.End || av.Samples != bv.Samples ||
+			av.Verdict != bv.Verdict {
+			return false
+		}
+	}
+	for i := range a.NewRegions {
+		if a.NewRegions[i].ID != b.NewRegions[i].ID {
+			return false
+		}
+	}
+	for i := range a.Pruned {
+		if a.Pruned[i].ID != b.Pruned[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMonitorSnapshotForkEquality(t *testing.T) {
+	prog, l1, l2 := testProgram(t)
+	mut := func(c *Config) {
+		c.PruneAfter = 4
+		c.UCRHistoryCap = 32 // small, so the snapshot catches a wrapped ring
+	}
+	const total, at = 140, 57
+	stream := hardeningStream(l1, l2, total)
+
+	ref := newMonitor(t, prog, mut)
+	forked := newMonitor(t, prog, mut)
+	for i := 0; i < at; i++ {
+		ra := ref.ProcessOverflow(stream[i])
+		rb := forked.ProcessOverflow(stream[i])
+		if !reportsEqual(t, ra, rb) {
+			t.Fatalf("identical monitors diverged at %d before any snapshot", i)
+		}
+	}
+
+	s1, s2 := forked.Snapshot(), forked.Snapshot()
+	if string(s1) != string(s2) {
+		t.Fatal("monitor snapshot is not deterministic")
+	}
+
+	restored := newMonitor(t, prog, mut)
+	if err := restored.Restore(s1); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if string(restored.Snapshot()) != string(s1) {
+		t.Fatal("restored monitor snapshots to different bytes")
+	}
+	if restored.UCRMedian() != ref.UCRMedian() || restored.UCRDropped() != ref.UCRDropped() {
+		t.Fatal("restored UCR history differs")
+	}
+
+	for i := at; i < total; i++ {
+		ra := ref.ProcessOverflow(stream[i])
+		rb := restored.ProcessOverflow(stream[i])
+		if !reportsEqual(t, ra, rb) {
+			t.Fatalf("interval %d: restored monitor diverged:\nref      %+v\nrestored %+v", i, ra, rb)
+		}
+	}
+	// Region loop linkage was re-derived, not lost.
+	for _, r := range restored.Regions() {
+		if r.Loop == nil {
+			t.Errorf("restored region %s lost its loop", r.Name())
+		}
+	}
+}
+
+func TestMonitorRestoreRejectsMismatch(t *testing.T) {
+	prog, l1, _ := testProgram(t)
+	m := newMonitor(t, prog, func(c *Config) { c.UCRHistoryCap = 8 })
+	m.ProcessOverflow(overflow(0, 64, spanPCs(l1, 8)...))
+	snapBytes := m.Snapshot()
+
+	// Different history capacity → reject.
+	other := newMonitor(t, prog, func(c *Config) { c.UCRHistoryCap = 16 })
+	if err := other.Restore(snapBytes); err == nil {
+		t.Error("expected history-capacity mismatch error")
+	}
+	// The failed restore left the monitor usable and empty.
+	if len(other.Regions()) != 0 {
+		t.Error("failed restore mutated the monitor")
+	}
+
+	if err := m.Restore([]byte("not a snapshot")); err == nil {
+		t.Error("expected decode error on garbage")
+	}
+}

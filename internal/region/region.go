@@ -68,7 +68,23 @@ type Config struct {
 	// MaxProcRegionInstrs caps inter-procedural region size
 	// (0 = DefaultMaxProcRegionInstrs).
 	MaxProcRegionInstrs int
+	// UCRHistoryCap bounds the retained per-interval UCR-fraction history.
+	// 0 selects DefaultUCRHistoryCap; RetainAllHistory (-1) keeps every
+	// interval (experiments and figure generators that plot the full
+	// series). The monitor is otherwise O(1)-state per interval, matching
+	// the related-work hardware schemes; an unbounded default would be a
+	// slow leak on the ROADMAP's billions-of-intervals runs.
+	UCRHistoryCap int
 }
+
+// DefaultUCRHistoryCap is the UCR history window used when
+// Config.UCRHistoryCap is 0 — deep enough for any online consumer
+// (UCRMedian, reporting) while keeping the monitor's footprint fixed.
+const DefaultUCRHistoryCap = 4096
+
+// RetainAllHistory, as Config.UCRHistoryCap, disables the UCR history
+// bound (opt-in retain-everything mode).
+const RetainAllHistory = -1
 
 // DefaultConfig returns the paper's parameters.
 func DefaultConfig() Config {
@@ -99,6 +115,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxProcRegionInstrs < 0 {
 		return fmt.Errorf("region: max procedure-region size %d < 0", c.MaxProcRegionInstrs)
+	}
+	if c.UCRHistoryCap < RetainAllHistory {
+		return fmt.Errorf("region: UCR history cap %d < %d", c.UCRHistoryCap, RetainAllHistory)
 	}
 	return c.Detector.Validate()
 }
@@ -198,12 +217,23 @@ type Report struct {
 	TotalSamples int
 	// MonitoredSamples landed in at least one region.
 	MonitoredSamples int
-	// UCRSamples landed in no region (including idle samples at PC 0).
+	// UCRSamples landed in no region. Idle samples (PC 0) are included:
+	// time spent outside the program text is still unmonitored time, and
+	// Figure 6/7's UCR fractions count it. Subtract IdleSamples for the
+	// code-only count.
 	UCRSamples int
+	// IdleSamples is the number of UCR samples at PC 0 — cycles sampled
+	// while no program instruction was executing. They can never seed a
+	// region, so formation decisions exclude them (see
+	// FormationTriggered).
+	IdleSamples int
 	// UCRFraction is UCRSamples / TotalSamples (0 for an empty buffer).
 	UCRFraction float64
-	// FormationTriggered reports that the UCR fraction exceeded the
-	// threshold this interval.
+	// FormationTriggered reports that the unmonitored fraction of *code*
+	// samples — (UCRSamples-IdleSamples) / (TotalSamples-IdleSamples) —
+	// exceeded the threshold this interval. Idle samples are excluded from
+	// both sides so an idle-heavy interval cannot trip formation with
+	// nothing to form.
 	FormationTriggered bool
 	// NewRegions lists regions formed this interval.
 	NewRegions []*Region
@@ -227,8 +257,8 @@ type Monitor struct {
 	nextID  int
 	seq     int
 
-	ucrHistory []float64
-	loopCount  map[*isa.Loop]int // scratch for formation
+	ucr       *stats.Series
+	loopCount map[*isa.Loop]int // scratch for formation
 
 	// Per-interval scratch, reused across ProcessOverflow calls so the
 	// monitoring hot path stays allocation-free in steady state.
@@ -264,6 +294,7 @@ func NewMonitor(prog *isa.Program, cfg Config) (*Monitor, error) {
 		index:     ix,
 		loopCount: make(map[*isa.Loop]int),
 	}
+	m.ucr = m.newUCRSeries()
 	// Built once so sample distribution creates no per-sample closures.
 	m.stabVisit = func(id int) {
 		r := m.regions[id]
@@ -273,6 +304,19 @@ func NewMonitor(prog *isa.Program, cfg Config) (*Monitor, error) {
 		m.stabHit = true
 	}
 	return m, nil
+}
+
+// newUCRSeries builds the UCR-fraction history configured by
+// Config.UCRHistoryCap (also used to stage a fresh series during Restore).
+func (m *Monitor) newUCRSeries() *stats.Series {
+	switch m.cfg.UCRHistoryCap {
+	case RetainAllHistory:
+		return stats.NewUnboundedSeries()
+	case 0:
+		return stats.NewSeries(DefaultUCRHistoryCap)
+	default:
+		return stats.NewSeries(m.cfg.UCRHistoryCap)
+	}
 }
 
 // Regions returns the monitored regions in ID order.
@@ -298,16 +342,20 @@ func (m *Monitor) RegionAt(addr isa.Addr) *Region {
 	return best
 }
 
-// UCRHistory returns the per-interval UCR fractions observed so far.
-func (m *Monitor) UCRHistory() []float64 {
-	out := make([]float64, len(m.ucrHistory))
-	copy(out, m.ucrHistory)
-	return out
-}
+// UCRHistory returns the retained per-interval UCR fractions, oldest
+// first. Under the default bounded configuration this is the most recent
+// UCRHistoryCap intervals (UCRDropped reports how many older ones were
+// evicted); with UCRHistoryCap = RetainAllHistory it is the complete
+// series.
+func (m *Monitor) UCRHistory() []float64 { return m.ucr.Values(nil) }
 
-// UCRMedian returns the median per-interval UCR fraction — the Figure 6
-// per-benchmark quantity.
-func (m *Monitor) UCRMedian() float64 { return stats.Median(m.ucrHistory) }
+// UCRDropped returns the number of per-interval UCR fractions evicted
+// from the bounded history (0 in retain-everything mode).
+func (m *Monitor) UCRDropped() int64 { return m.ucr.Dropped() }
+
+// UCRMedian returns the median per-interval UCR fraction over the
+// retained history — the Figure 6 per-benchmark quantity.
+func (m *Monitor) UCRMedian() float64 { return m.ucr.Median() }
 
 // AddRegion manually registers a region over [start, end) (used for
 // non-loop spans in tests and by controllers with prior knowledge).
@@ -375,6 +423,8 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 			rep.UCRSamples++
 			if m.stabPC != 0 {
 				ucrPCs = append(ucrPCs, m.stabPC)
+			} else {
+				rep.IdleSamples++
 			}
 		}
 	}
@@ -382,10 +432,15 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 	if rep.TotalSamples > 0 {
 		rep.UCRFraction = float64(rep.UCRSamples) / float64(rep.TotalSamples)
 	}
-	m.ucrHistory = append(m.ucrHistory, rep.UCRFraction)
+	m.ucr.Append(rep.UCRFraction)
 
-	// Phase 2: region formation when the UCR is too hot.
-	if rep.TotalSamples > 0 && rep.UCRFraction > m.cfg.UCRThreshold {
+	// Phase 2: region formation when the UCR is too hot. Idle samples are
+	// excluded from the trigger: they are unmonitored time but map to no
+	// instruction, so an idle-heavy interval has nothing to form regions
+	// around.
+	codeSamples := rep.TotalSamples - rep.IdleSamples
+	codeUCR := rep.UCRSamples - rep.IdleSamples
+	if codeSamples > 0 && float64(codeUCR)/float64(codeSamples) > m.cfg.UCRThreshold {
 		rep.FormationTriggered = true
 		rep.NewRegions = m.formRegions(ucrPCs)
 	}
@@ -401,7 +456,8 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 	rep.Verdicts = m.verdictScratch[:0]
 	for _, id := range ids {
 		r := m.regions[id]
-		if r.intervalHits > 0 && r.intervalHits < m.cfg.MinObserveSamples {
+		sparse := r.intervalHits > 0 && r.intervalHits < m.cfg.MinObserveSamples
+		if sparse {
 			// Too sparse to judge: treat as an empty interval.
 			for i := range r.curr {
 				r.curr[i] = 0
@@ -412,14 +468,22 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 		// A region counts as idle when it had no *observable* activity —
 		// sparse trickle samples below the observation guard do not keep
 		// a cold region alive ("remove infrequently executing and
-		// relatively cold regions").
-		if r.intervalHits < m.cfg.MinObserveSamples {
-			r.idleFor++
-		} else {
+		// relatively cold regions"). The formation interval is exempt: a
+		// region formed this interval saw only the tail of the triggering
+		// buffer replayed into it, and that partial interval must not
+		// start the idle clock (it could otherwise be pruned PruneAfter
+		// intervals after formation without ever seeing a full interval).
+		if r.intervalHits >= m.cfg.MinObserveSamples {
 			r.idleFor = 0
+		} else if r.FormedAt != m.seq {
+			r.idleFor++
 		}
-		for i := range r.curr {
-			r.curr[i] = 0
+		// r.curr was already zeroed in the sparse path above, and an
+		// empty interval left nothing to clear; zero exactly once.
+		if !sparse && r.intervalHits > 0 {
+			for i := range r.curr {
+				r.curr[i] = 0
+			}
 		}
 		r.intervalHits = 0
 		if m.cfg.PruneAfter > 0 && r.idleFor >= m.cfg.PruneAfter {

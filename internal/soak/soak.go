@@ -1,0 +1,410 @@
+// Package soak drives the full detector stack — pipeline, centroid GPD,
+// region monitoring, BBV, working set and a CPI tracker — for millions
+// of synthetic sampling intervals to prove the long-run hardening
+// properties: bounded detector state (the heap is steady after warmup)
+// and checkpoint fidelity (killing the stack mid-run and resuming a
+// fresh one from a Snapshot yields a byte-identical subsequent verdict
+// stream).
+//
+// The workload generator is fully deterministic (splitmix64 seeded by
+// Config.Seed), so two runs over the same configuration produce the same
+// verdict digest; a kill/restore run matching an uninterrupted reference
+// run is therefore an exact equality proof, not a statistical one.
+package soak
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"regionmon/internal/altdetect"
+	"regionmon/internal/gpd"
+	"regionmon/internal/hpm"
+	"regionmon/internal/isa"
+	"regionmon/internal/pipeline"
+	"regionmon/internal/region"
+)
+
+// Config tunes one soak run. The zero value of every optional field
+// selects a sensible default (see withDefaults).
+type Config struct {
+	// Intervals is the number of sampling intervals to drive. Required.
+	Intervals int
+	// SamplesPerInterval is the synthetic overflow buffer size
+	// (default 96).
+	SamplesPerInterval int
+	// Seed seeds the deterministic workload generator (default 1).
+	Seed uint64
+	// RestoreEvery, when positive, kills the live stack every that many
+	// intervals: Snapshot it, build a fresh identically configured
+	// stack, Restore into it and continue on the fresh one. 0 disables
+	// the kill/restore exercise (reference mode).
+	RestoreEvery int
+	// Warmup is the number of intervals before the heap baseline is
+	// taken (default Intervals/10). Formation, ring fills and detector
+	// warm-up allocate; steady state starts after.
+	Warmup int
+	// HeapCheckEvery is the interval stride between heap samples after
+	// warmup (default (Intervals-Warmup)/8). Each sample forces a GC,
+	// so keep it coarse.
+	HeapCheckEvery int
+	// MaxHeapGrowth is the allowed growth of HeapAlloc from the
+	// post-warmup baseline to the end of the run, in bytes
+	// (default 4 MiB). With every per-interval series bounded the
+	// steady-state heap must not track run length.
+	MaxHeapGrowth uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplesPerInterval == 0 {
+		c.SamplesPerInterval = 96
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Intervals / 10
+	}
+	if c.HeapCheckEvery == 0 {
+		c.HeapCheckEvery = (c.Intervals - c.Warmup) / 8
+		if c.HeapCheckEvery < 1 {
+			c.HeapCheckEvery = 1
+		}
+	}
+	if c.MaxHeapGrowth == 0 {
+		c.MaxHeapGrowth = 4 << 20
+	}
+	return c
+}
+
+// Result summarizes a completed soak run.
+type Result struct {
+	// Intervals is the number of intervals driven.
+	Intervals int
+	// Digest is the FNV-1a digest of the full verdict stream (every
+	// field of every verdict, bit-exact floats). Two runs with equal
+	// digests emitted identical verdict streams.
+	Digest uint64
+	// Restores counts kill/restore cycles performed.
+	Restores int
+	// SnapshotBytes is the size of the last snapshot taken (0 when
+	// RestoreEvery is 0).
+	SnapshotBytes int
+	// HeapBaseline and HeapFinal are post-GC HeapAlloc at warmup and at
+	// the end of the run.
+	HeapBaseline, HeapFinal uint64
+	// HeapSamples holds the periodic post-GC HeapAlloc readings taken
+	// between baseline and final.
+	HeapSamples []uint64
+}
+
+// Run drives one soak according to cfg and returns the run summary. It
+// returns an error if the configuration is invalid, a snapshot or
+// restore fails, an unknown verdict payload appears, or the heap grew
+// beyond cfg.MaxHeapGrowth from the post-warmup baseline.
+func Run(cfg Config) (Result, error) {
+	if cfg.Intervals <= 0 {
+		return Result{}, fmt.Errorf("soak: Intervals must be positive, got %d", cfg.Intervals)
+	}
+	cfg = cfg.withDefaults()
+
+	prog, loops, err := buildProgram()
+	if err != nil {
+		return Result{}, err
+	}
+	pipe, err := newStack(prog)
+	if err != nil {
+		return Result{}, err
+	}
+
+	dig := newDigest()
+	var hashErr error
+	obs := func(rep *pipeline.IntervalReport) {
+		if err := hashReport(dig, rep); err != nil && hashErr == nil {
+			hashErr = err
+		}
+	}
+	pipe.AddObserver(obs)
+
+	g := newGen(cfg.Seed, loops, cfg.SamplesPerInterval)
+	var res Result
+	for i := 0; i < cfg.Intervals; i++ {
+		if cfg.RestoreEvery > 0 && i > 0 && i%cfg.RestoreEvery == 0 {
+			snap, err := pipe.Snapshot()
+			if err != nil {
+				return res, fmt.Errorf("soak: snapshot at interval %d: %w", i, err)
+			}
+			fresh, err := newStack(prog)
+			if err != nil {
+				return res, err
+			}
+			if err := fresh.Restore(snap); err != nil {
+				return res, fmt.Errorf("soak: restore at interval %d: %w", i, err)
+			}
+			fresh.AddObserver(obs)
+			pipe = fresh // the old stack is dead; resume on the restored one
+			res.Restores++
+			res.SnapshotBytes = len(snap)
+		}
+		pipe.ProcessOverflow(g.interval(i))
+		if hashErr != nil {
+			return res, hashErr
+		}
+		if i == cfg.Warmup {
+			res.HeapBaseline = heapAlloc()
+		} else if i > cfg.Warmup && (i-cfg.Warmup)%cfg.HeapCheckEvery == 0 {
+			res.HeapSamples = append(res.HeapSamples, heapAlloc())
+		}
+	}
+	res.Intervals = cfg.Intervals
+	res.Digest = dig.h
+	res.HeapFinal = heapAlloc()
+	if res.HeapFinal > res.HeapBaseline+cfg.MaxHeapGrowth {
+		return res, fmt.Errorf("soak: heap grew %d bytes over %d intervals (baseline %d, final %d, budget %d)",
+			res.HeapFinal-res.HeapBaseline, cfg.Intervals-cfg.Warmup, res.HeapBaseline, res.HeapFinal, cfg.MaxHeapGrowth)
+	}
+	return res, nil
+}
+
+// heapAlloc returns HeapAlloc after a forced collection, so readings
+// compare live heap rather than GC pacing noise.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// buildProgram constructs the soak workload's program: two procedures,
+// four loops of different sizes and kinds, separated by straight-line
+// code so formation always has an innermost loop to latch onto.
+func buildProgram() (*isa.Program, []isa.LoopSpan, error) {
+	b := isa.NewBuilder(0x10000)
+	p := b.Proc("main")
+	p.Code(32, isa.KindALU)
+	l1 := p.Loop(20, []isa.Kind{isa.KindLoad, isa.KindALU, isa.KindALU}, nil)
+	p.Code(12, isa.KindALU)
+	l2 := p.Loop(28, []isa.Kind{isa.KindLoad, isa.KindALU, isa.KindStore, isa.KindALU}, nil)
+	b.Skip(0x20000)
+	q := b.Proc("aux")
+	q.Code(8, isa.KindALU)
+	l3 := q.Loop(16, []isa.Kind{isa.KindLoad, isa.KindALU}, nil)
+	q.Code(8, isa.KindALU)
+	l4 := q.Loop(36, []isa.Kind{isa.KindLoad, isa.KindALU, isa.KindALU, isa.KindStore}, nil)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, []isa.LoopSpan{l1, l2, l3, l4}, nil
+}
+
+// newStack builds one full monitoring stack over prog: pipeline with
+// GPD, region monitor (bounded UCR history — the default), BBV, working
+// set and a CPI tracker. Every component uses its default configuration
+// so a soak exercises exactly what users get.
+func newStack(prog *isa.Program) (*pipeline.Pipeline, error) {
+	gdet, err := gpd.New(gpd.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	rmon, err := region.NewMonitor(prog, region.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	bbv, err := altdetect.NewBBV(prog, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := altdetect.NewWorkingSet(prog, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := gpd.NewPerfTracker(gpd.DefaultPerfConfig())
+	if err != nil {
+		return nil, err
+	}
+	pipe := pipeline.New()
+	for _, d := range []pipeline.PhaseDetector{
+		pipeline.NewGPD(gdet),
+		pipeline.NewRegionMonitor(rmon),
+		pipeline.NewBBV(bbv),
+		pipeline.NewWorkingSet(ws),
+		pipeline.NewCPI(tr),
+	} {
+		if err := pipe.Register(d); err != nil {
+			return nil, err
+		}
+	}
+	return pipe, nil
+}
+
+// gen is the deterministic workload generator. Each interval rotates
+// through phases that weight two of the four loops, with a small idle
+// (PC 0) fraction and a sparse partial-buffer interval every 97th
+// delivery — the shapes the hardening fixes are about.
+type gen struct {
+	rng     uint64
+	loops   []isa.LoopSpan
+	samples []hpm.Sample // reused across intervals, like a real hpm buffer
+	cycle   uint64
+}
+
+func newGen(seed uint64, loops []isa.LoopSpan, buf int) *gen {
+	return &gen{rng: seed, loops: loops, samples: make([]hpm.Sample, buf)}
+}
+
+// next is splitmix64.
+func (g *gen) next() uint64 {
+	g.rng += 0x9e3779b97f4a7c15
+	z := g.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// phaseLen is how many intervals each phase lasts before the workload
+// shifts to the next loop pair.
+const phaseLen = 160
+
+func (g *gen) interval(i int) *hpm.Overflow {
+	phase := (i / phaseLen) % len(g.loops)
+	hot := g.loops[phase]
+	warm := g.loops[(phase+1)%len(g.loops)]
+
+	n := len(g.samples)
+	if i%97 == 96 {
+		// Sparse partial-buffer flush: a handful of samples, the shape
+		// that exercises the region monitor's sparse-interval guard.
+		n = 3 + int(g.next()%5)
+	}
+	for s := 0; s < n; s++ {
+		g.cycle += 80 + g.next()%40
+		var pc isa.Addr
+		switch r := g.next() % 100; {
+		case r < 5:
+			pc = 0 // idle sample: off-CPU time
+		case r < 70:
+			pc = loopPC(hot, g.next())
+		case r < 90:
+			pc = loopPC(warm, g.next())
+		default:
+			// Straggler in straight-line code: steady unmonitored noise.
+			pc = g.loops[g.next()%uint64(len(g.loops))].End + isa.InstrBytes
+		}
+		g.samples[s] = hpm.Sample{
+			PC:       pc,
+			Cycle:    g.cycle,
+			Instrs:   8 + g.next()%8,
+			DCMisses: g.next() % 3,
+		}
+	}
+	return &hpm.Overflow{Seq: i, Cycle: g.cycle, Samples: g.samples[:n]}
+}
+
+// loopPC returns a pseudo-random instruction address inside span.
+func loopPC(span isa.LoopSpan, r uint64) isa.Addr {
+	return span.Start + isa.Addr(r%uint64(span.NumInstrs()))*isa.InstrBytes
+}
+
+// digest is an incremental FNV-1a over the verdict stream. Hashing in
+// the observer (rather than retaining verdicts) keeps the harness itself
+// O(1) in memory, so it cannot mask a detector leak.
+type digest struct{ h uint64 }
+
+func newDigest() *digest { return &digest{h: 0xcbf29ce484222325} }
+
+func (d *digest) byte(b byte) { d.h = (d.h ^ uint64(b)) * 0x100000001b3 }
+func (d *digest) bool(v bool) {
+	if v {
+		d.byte(1)
+	} else {
+		d.byte(0)
+	}
+}
+func (d *digest) f64(v float64) { d.u64(math.Float64bits(v)) }
+func (d *digest) int(v int)     { d.u64(uint64(int64(v))) }
+func (d *digest) u64(v uint64) {
+	for i := 0; i < 64; i += 8 {
+		d.byte(byte(v >> i))
+	}
+}
+func (d *digest) str(s string) {
+	d.int(len(s))
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+}
+
+// hashReport folds every field of every verdict — including the typed
+// payloads, floats bit-exact — into the digest. An unknown payload type
+// is an error: a soak that silently skipped a detector's output would
+// prove nothing about it.
+func hashReport(d *digest, rep *pipeline.IntervalReport) error {
+	d.int(rep.Seq)
+	d.u64(rep.Cycle)
+	d.int(len(rep.Verdicts))
+	for i := range rep.Verdicts {
+		v := &rep.Verdicts[i]
+		d.str(v.Detector)
+		d.bool(v.Stable)
+		d.bool(v.PhaseChange)
+		switch p := v.Payload.(type) {
+		case *gpd.Verdict:
+			d.int(int(p.State))
+			d.int(int(p.Prev))
+			d.bool(p.PhaseChange)
+			d.bool(p.Drastic)
+			d.f64(p.Centroid)
+			d.f64(p.Delta)
+			d.f64(p.BandLow)
+			d.f64(p.BandHigh)
+		case *region.Report:
+			hashRegionReport(d, p)
+		case *altdetect.Verdict:
+			d.f64(p.Similarity)
+			d.bool(p.Changed)
+			d.int(p.Blocks)
+		case *gpd.PerfVerdict:
+			d.f64(p.Value)
+			d.f64(p.Mean)
+			d.f64(p.SD)
+			d.f64(p.Delta)
+			d.bool(p.Changed)
+		default:
+			return fmt.Errorf("soak: unknown verdict payload %T from detector %q", v.Payload, v.Detector)
+		}
+	}
+	return nil
+}
+
+func hashRegionReport(d *digest, r *region.Report) {
+	d.int(r.Seq)
+	d.int(r.TotalSamples)
+	d.int(r.MonitoredSamples)
+	d.int(r.UCRSamples)
+	d.int(r.IdleSamples)
+	d.f64(r.UCRFraction)
+	d.bool(r.FormationTriggered)
+	d.int(len(r.NewRegions))
+	for _, reg := range r.NewRegions {
+		d.int(reg.ID)
+		d.u64(uint64(reg.Start))
+		d.u64(uint64(reg.End))
+	}
+	d.int(len(r.Pruned))
+	for _, reg := range r.Pruned {
+		d.int(reg.ID)
+	}
+	d.int(len(r.Verdicts))
+	for i := range r.Verdicts {
+		rv := &r.Verdicts[i]
+		d.int(rv.Region.ID)
+		d.int(int(rv.Verdict.State))
+		d.int(int(rv.Verdict.Prev))
+		d.f64(rv.Verdict.R)
+		d.bool(rv.Verdict.PhaseChange)
+		d.bool(rv.Verdict.Empty)
+		d.bool(rv.Verdict.RefUpdated)
+		d.int(rv.Samples)
+	}
+}

@@ -1,0 +1,63 @@
+package soak
+
+import "testing"
+
+// TestSoakKillRestoreMatchesReference is the short-form soak: a few
+// thousand intervals with two kill/restore cycles must emit exactly the
+// verdict stream of an uninterrupted reference run. cmd/soak (make
+// soak) runs the same comparison at millions of intervals.
+func TestSoakKillRestoreMatchesReference(t *testing.T) {
+	cfg := Config{Intervals: 6000, Seed: 7, MaxHeapGrowth: 16 << 20}
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if ref.Restores != 0 {
+		t.Fatalf("reference run performed %d restores; want 0", ref.Restores)
+	}
+
+	cfg.RestoreEvery = 2300
+	kr, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("kill/restore run: %v", err)
+	}
+	if kr.Restores != 2 {
+		t.Errorf("restores = %d; want 2", kr.Restores)
+	}
+	if kr.SnapshotBytes == 0 {
+		t.Error("no snapshot taken")
+	}
+	if kr.Digest != ref.Digest {
+		t.Errorf("verdict stream diverged after restore: digest %#x, reference %#x", kr.Digest, ref.Digest)
+	}
+	if kr.Intervals != ref.Intervals {
+		t.Errorf("intervals = %d; want %d", kr.Intervals, ref.Intervals)
+	}
+}
+
+// TestSoakDeterministic checks that the generator and stack are fully
+// deterministic: same config, same digest.
+func TestSoakDeterministic(t *testing.T) {
+	cfg := Config{Intervals: 1500, Seed: 42, MaxHeapGrowth: 16 << 20}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("digests differ: %#x vs %#x", a.Digest, b.Digest)
+	}
+	if a.Digest == 0 {
+		t.Error("zero digest: observer never ran")
+	}
+}
+
+func TestSoakValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("zero Intervals accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"regionmon/internal/snap"
+)
+
+func TestSeriesBoundedEviction(t *testing.T) {
+	s := NewSeries(4)
+	for i := 1; i <= 10; i++ {
+		s.Append(float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", s.Total())
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", s.Dropped())
+	}
+	got := s.Values(nil)
+	want := []float64{7, 8, 9, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+	if m := s.Mean(); m != 8.5 {
+		t.Errorf("Mean = %v, want 8.5", m)
+	}
+	if m := s.Median(); m != 8.5 {
+		t.Errorf("Median = %v, want 8.5", m)
+	}
+	for i := range want {
+		if s.At(i) != want[i] {
+			t.Errorf("At(%d) = %v, want %v", i, s.At(i), want[i])
+		}
+	}
+}
+
+func TestSeriesUnboundedRetainsEverything(t *testing.T) {
+	s := NewUnboundedSeries()
+	for i := 0; i < 1000; i++ {
+		s.Append(float64(i))
+	}
+	if s.Len() != 1000 || s.Dropped() != 0 || s.Total() != 1000 {
+		t.Fatalf("Len=%d Dropped=%d Total=%d", s.Len(), s.Dropped(), s.Total())
+	}
+	if s.Cap() != -1 {
+		t.Errorf("Cap = %d, want -1", s.Cap())
+	}
+	if m := s.Median(); m != 499.5 {
+		t.Errorf("Median = %v, want 499.5", m)
+	}
+}
+
+func TestSeriesOddMedian(t *testing.T) {
+	s := NewSeries(8)
+	for _, x := range []float64{5, 1, 3} {
+		s.Append(x)
+	}
+	if m := s.Median(); m != 3 {
+		t.Errorf("Median = %v, want 3", m)
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean())
+	}
+}
+
+func TestSeriesReset(t *testing.T) {
+	s := NewSeries(3)
+	for i := 0; i < 7; i++ {
+		s.Append(1)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Total() != 0 || s.Dropped() != 0 || s.Mean() != 0 {
+		t.Fatalf("Reset left state: Len=%d Total=%d Dropped=%d Mean=%v",
+			s.Len(), s.Total(), s.Dropped(), s.Mean())
+	}
+}
+
+func TestSeriesAppendNoAllocsBounded(t *testing.T) {
+	s := NewSeries(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Append(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("bounded Append allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestSeriesSnapshotRoundTrip(t *testing.T) {
+	s := NewSeries(4)
+	for i := 1; i <= 9; i++ {
+		s.Append(float64(i) / 3)
+	}
+	e := snap.NewEncoder()
+	s.AppendSnapshot(e)
+
+	r := NewSeries(4)
+	if err := r.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if r.Total() != s.Total() || r.Dropped() != s.Dropped() || r.Len() != s.Len() {
+		t.Fatalf("accounting mismatch: got (%d,%d,%d) want (%d,%d,%d)",
+			r.Total(), r.Dropped(), r.Len(), s.Total(), s.Dropped(), s.Len())
+	}
+	if r.Mean() != s.Mean() {
+		t.Fatalf("Mean mismatch: %v vs %v", r.Mean(), s.Mean())
+	}
+	// Subsequent appends must behave identically (ring alignment restored).
+	s.Append(100)
+	r.Append(100)
+	sv, rv := s.Values(nil), r.Values(nil)
+	for i := range sv {
+		if sv[i] != rv[i] {
+			t.Fatalf("post-restore divergence: %v vs %v", sv, rv)
+		}
+	}
+}
+
+func TestSeriesSnapshotMismatch(t *testing.T) {
+	s := NewSeries(4)
+	s.Append(1)
+	e := snap.NewEncoder()
+	s.AppendSnapshot(e)
+
+	if err := NewSeries(8).RestoreSnapshot(snap.NewDecoder(e.Bytes())); err == nil {
+		t.Error("expected capacity mismatch error")
+	}
+	if err := NewUnboundedSeries().RestoreSnapshot(snap.NewDecoder(e.Bytes())); err == nil {
+		t.Error("expected mode mismatch error")
+	}
+}
+
+func TestWindowSnapshotRoundTrip(t *testing.T) {
+	w := NewWindow(8)
+	// Enough adds to wrap the ring and accumulate float drift in sum/sum2.
+	for i := 0; i < 100; i++ {
+		w.Add(math.Sin(float64(i)) * 1e3)
+	}
+	e := snap.NewEncoder()
+	w.AppendSnapshot(e)
+
+	r := NewWindow(8)
+	if err := r.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if r.Len() != w.Len() || r.Mean() != w.Mean() || r.StdDev() != w.StdDev() {
+		t.Fatalf("restored window differs: Len %d/%d Mean %v/%v StdDev %v/%v",
+			r.Len(), w.Len(), r.Mean(), w.Mean(), r.StdDev(), w.StdDev())
+	}
+	// Bit-identical continuation: the incremental sums were restored
+	// verbatim, so the next Add yields identical Mean/StdDev on both.
+	w.Add(0.125)
+	r.Add(0.125)
+	if r.Mean() != w.Mean() || r.StdDev() != w.StdDev() {
+		t.Fatalf("post-restore divergence: Mean %v/%v StdDev %v/%v",
+			r.Mean(), w.Mean(), r.StdDev(), w.StdDev())
+	}
+
+	if err := NewWindow(4).RestoreSnapshot(snap.NewDecoder(e.Bytes())); err == nil {
+		t.Error("expected capacity mismatch error")
+	}
+}

@@ -253,6 +253,10 @@ type (
 	AltAdapter = pipeline.Alt
 	// PerfAdapter presents a PerfTracker as a PhaseDetector.
 	PerfAdapter = pipeline.Perf
+	// Snapshotter is implemented by detectors that support the
+	// checkpoint/resume protocol (every built-in adapter does); a
+	// Pipeline or System snapshots only if all its detectors do.
+	Snapshotter = pipeline.Snapshotter
 )
 
 // Default detector names within a pipeline.

@@ -1,6 +1,7 @@
 package regionmon
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -65,6 +66,59 @@ func TestSystemEndToEnd(t *testing.T) {
 		if frac := r.Detector.StableFraction(); frac < 0.5 {
 			t.Errorf("region %s stable fraction %.2f; want >= 0.5", r.Name(), frac)
 		}
+	}
+}
+
+// TestSystemSnapshotRestore checks the facade checkpoint path: a snapshot
+// taken mid-run restores into a second identically configured System and
+// re-encodes byte-identically. (The soak harness exercises the stronger
+// resumed-verdict-stream guarantee at scale.)
+func TestSystemSnapshotRestore(t *testing.T) {
+	prog, sched, _, _ := buildDemo(t)
+	newSys := func() *System {
+		sys, err := NewSystem(prog, sched, SystemConfig{
+			Sampling: SamplingConfig{Period: 500, BufferSize: 256, JitterFrac: 0.1},
+		})
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		return sys
+	}
+
+	sys := newSys()
+	var snap []byte
+	var snapErr error
+	intervals := 0
+	sys.AddObserver(func(rep *PipelineReport) {
+		intervals++
+		if intervals == 25 {
+			snap, snapErr = sys.Snapshot()
+		}
+	})
+	sys.Run()
+	if snapErr != nil {
+		t.Fatalf("mid-run Snapshot: %v", snapErr)
+	}
+	if snap == nil {
+		t.Fatalf("run too short: %d intervals, snapshot never taken", intervals)
+	}
+
+	other := newSys()
+	if err := other.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := other.Pipeline().Intervals(); got != 25 {
+		t.Errorf("restored Intervals = %d; want 25", got)
+	}
+	resnap, err := other.Snapshot()
+	if err != nil {
+		t.Fatalf("re-Snapshot: %v", err)
+	}
+	if !bytes.Equal(snap, resnap) {
+		t.Error("restored snapshot re-encodes differently")
+	}
+	if err := other.Restore([]byte("garbage")); err == nil {
+		t.Error("Restore accepted garbage")
 	}
 }
 

@@ -168,6 +168,21 @@ func (s *System) RegionMonitor() *RegionMonitor { return s.ra.Monitor() }
 // manually).
 func (s *System) Executor() *Executor { return s.exec }
 
+// Snapshot serializes the System's complete detector state — the
+// pipeline, both built-in detectors and any additionally registered
+// snapshottable detectors — to a versioned, deterministic byte form. The
+// executor and sampling monitor are deliberately not captured: a snapshot
+// checkpoints the *monitoring stack*, and resuming means attaching the
+// restored stack to a live sample source and re-feeding the remainder of
+// the stream (the soak harness exercises exactly this and asserts the
+// resumed verdict stream is byte-identical to an uninterrupted run).
+func (s *System) Snapshot() ([]byte, error) { return s.pipe.Snapshot() }
+
+// Restore replaces the System's detector state from a Snapshot taken of
+// an identically configured System (same program, same configuration,
+// same extra detectors registered in the same order).
+func (s *System) Restore(data []byte) error { return s.pipe.Restore(data) }
+
 // Run executes the schedule to completion and returns the run summary.
 func (s *System) Run() SystemStats {
 	res := s.exec.Run()
