@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench soak soak-short check
+.PHONY: all build vet lint test race bench benchingest ingest-smoke soak soak-short check
 
 all: check
 
@@ -30,16 +30,30 @@ race:
 # pipeline.TestHotPathAllocs, which run under `make test`).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSystemRun|BenchmarkFig13' -benchtime 1x -benchmem ./.
+	$(GO) test -run '^$$' -bench 'BenchmarkObserve|BenchmarkPearson' -benchtime 1x -benchmem ./internal/lpd/ ./internal/stats/
+
+# Regenerate the committed ingest throughput baseline: streams/sec through
+# full detector stacks at 1/4/16/64 shards, with cross-shard digest
+# verification before any number is reported.
+benchingest:
+	$(GO) run ./cmd/benchingest > BENCH_ingest.json
+
+# Short multi-shard ingest smoke for `make check`/CI: 64 streams x 5k
+# intervals at every shard count, failing unless all per-stream verdict
+# digests agree across topologies (throughput JSON discarded).
+ingest-smoke:
+	$(GO) run ./cmd/benchingest -intervals 5000 > /dev/null
 
 # Long-run hardening harness (cmd/soak): millions of intervals through
 # the full detector stack, asserting a steady heap and byte-identical
-# verdict streams across mid-run kill/restore. `soak` is the full
-# acceptance run; `soak-short` is the minutes-free variant folded into
-# `make check` and CI.
+# verdict streams across mid-run kill/restore — first single-stream, then
+# at fleet scale (8 streams behind an ingest.Fleet, reference on 1 shard
+# vs kill/restore on 4). `soak` is the full acceptance run; `soak-short`
+# is the minutes-free variant folded into `make check` and CI.
 soak:
 	$(GO) run ./cmd/soak -intervals 2000000
 
 soak-short:
 	$(GO) run ./cmd/soak -intervals 60000
 
-check: vet build lint test race bench soak-short
+check: vet build lint test race bench ingest-smoke soak-short

@@ -1,0 +1,189 @@
+// Command benchingest measures ingest fleet throughput — streams/sec of
+// fully processed sampling intervals through the full detector stack — at
+// several shard counts, and emits the result as JSON (the committed
+// BENCH_ingest.json). Before any timing is reported, the per-stream
+// verdict digests of every shard count are verified identical to the
+// 1-shard run: a throughput number from a fleet that changed its answers
+// would be meaningless.
+//
+// Usage:
+//
+//	go run ./cmd/benchingest > BENCH_ingest.json
+//	go run ./cmd/benchingest -full   # longer runs (minutes)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"regionmon/internal/ingest"
+	"regionmon/internal/pipeline"
+	"regionmon/internal/soak"
+)
+
+type run struct {
+	Shards        int     `json:"shards"`
+	Seconds       float64 `json:"seconds"`
+	IntervalsSec  float64 `json:"intervals_per_second"`
+	SpeedupVsSolo float64 `json:"speedup_vs_1_shard"`
+	// Efficiency normalizes the speedup by the parallelism actually
+	// available, min(shards, cpus): near 1.0 means near-linear scaling
+	// up to the machine's core count, on any machine.
+	Efficiency float64 `json:"parallel_efficiency"`
+	Dropped    uint64  `json:"dropped"`
+}
+
+type report struct {
+	Workload struct {
+		Streams            int `json:"streams"`
+		IntervalsPerStream int `json:"intervals_per_stream"`
+		SamplesPerInterval int `json:"samples_per_interval"`
+	} `json:"workload"`
+	Scale   string `json:"scale"` // "quick" or "full"
+	Machine struct {
+		GOOS   string `json:"goos"`
+		GOARCH string `json:"goarch"`
+		CPUs   int    `json:"cpus"`
+	} `json:"machine"`
+	Deterministic bool  `json:"cross_shard_digests_identical"`
+	Runs          []run `json:"runs"`
+}
+
+func main() {
+	var (
+		full      = flag.Bool("full", false, "longer runs for stabler numbers")
+		streams   = flag.Int("streams", 64, "fleet stream count")
+		intervals = flag.Int("intervals", 2000, "intervals per stream (quick scale)")
+		samples   = flag.Int("samples", 96, "samples per interval")
+	)
+	flag.Parse()
+
+	scale := "quick"
+	if *full {
+		*intervals *= 10
+		scale = "full"
+	}
+	shardCounts := []int{1, 4, 16, 64}
+
+	rep, err := buildReport(*streams, *intervals, *samples, scale, shardCounts)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// driveFleet pushes the full deterministic workload through a fleet with
+// the given shard count and returns the per-stream digests plus drop
+// count. PushWait keeps the comparison lossless: every shard count
+// processes exactly the same intervals.
+func driveFleet(streams, intervals, samples, shards int) ([]uint64, uint64, error) {
+	_, loops, err := soak.BuildProgram()
+	if err != nil {
+		return nil, 0, err
+	}
+	gens := make([]*soak.Workload, streams)
+	for s := range gens {
+		gens[s] = soak.NewWorkload(1+uint64(s)*0x9e3779b97f4a7c15, loops, samples)
+	}
+	f, err := ingest.NewFleet(streams, ingest.Config{
+		Shards:     shards,
+		MaxSamples: samples,
+		Build: func(stream int) (*pipeline.Pipeline, error) {
+			prog, _, err := soak.BuildProgram()
+			if err != nil {
+				return nil, err
+			}
+			return soak.NewStack(prog)
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	for i := 0; i < intervals; i++ {
+		for s := range gens {
+			f.PushWait(s, gens[s].Interval(i))
+		}
+	}
+	f.Drain()
+	digs := make([]uint64, streams)
+	for s := range digs {
+		info, err := f.StreamInfo(s)
+		if err != nil {
+			return nil, 0, err
+		}
+		digs[s] = info.Digest
+	}
+	dropped := f.Stats().Dropped
+	if err := f.Close(); err != nil {
+		return nil, 0, err
+	}
+	return digs, dropped, nil
+}
+
+func buildReport(streams, intervals, samples int, scale string, shardCounts []int) (*report, error) {
+	var rep report
+	rep.Workload.Streams = streams
+	rep.Workload.IntervalsPerStream = intervals
+	rep.Workload.SamplesPerInterval = samples
+	rep.Scale = scale
+	rep.Machine.GOOS = runtime.GOOS
+	rep.Machine.GOARCH = runtime.GOARCH
+	rep.Machine.CPUs = runtime.NumCPU()
+	rep.Deterministic = true
+
+	total := float64(streams) * float64(intervals)
+	var ref []uint64
+	var soloSecs float64
+	for _, shards := range shardCounts {
+		if shards > streams {
+			continue
+		}
+		t0 := time.Now() //lint:allow determinism -- benchmark harness measures real elapsed time
+		digs, dropped, err := driveFleet(streams, intervals, samples, shards)
+		if err != nil {
+			return nil, fmt.Errorf("%d shards: %w", shards, err)
+		}
+		//lint:allow determinism -- benchmark harness measures real elapsed time
+		secs := time.Since(t0).Seconds()
+		if ref == nil {
+			ref = digs
+			soloSecs = secs
+		} else {
+			for s := range ref {
+				if digs[s] != ref[s] {
+					rep.Deterministic = false
+				}
+			}
+		}
+		avail := shards
+		if cpus := runtime.NumCPU(); avail > cpus {
+			avail = cpus
+		}
+		rep.Runs = append(rep.Runs, run{
+			Shards:        shards,
+			Seconds:       secs,
+			IntervalsSec:  total / secs,
+			SpeedupVsSolo: soloSecs / secs,
+			Efficiency:    soloSecs / secs / float64(avail),
+			Dropped:       dropped,
+		})
+	}
+	if !rep.Deterministic {
+		return &rep, fmt.Errorf("per-stream digests differ across shard counts; throughput numbers withheld")
+	}
+	return &rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchingest:", err)
+	os.Exit(1)
+}

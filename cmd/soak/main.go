@@ -13,9 +13,18 @@
 //
 // Usage:
 //
+// After the single-stream comparison it repeats the exercise at fleet
+// scale: -streams independent stacks behind an ingest.Fleet, where the
+// reference run uses one shard and the kill/restore run uses -shards —
+// so the comparison also proves verdict streams are independent of the
+// worker topology.
+//
+// Usage:
+//
 //	soak                       # 2M intervals, full comparison (make soak)
 //	soak -intervals 60000      # short form (make soak-short, CI)
 //	soak -seed 9 -restores 7   # different workload / checkpoint count
+//	soak -streams 0            # skip the fleet stage
 package main
 
 import (
@@ -34,6 +43,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload generator seed")
 		restores  = flag.Int("restores", 4, "kill/restore cycles in the checkpoint run")
 		heapMiB   = flag.Int("max-heap-growth", 4, "allowed post-warmup heap growth in MiB")
+		streams   = flag.Int("streams", 8, "fleet stage stream count (0 skips the fleet stage)")
+		shards    = flag.Int("shards", 4, "fleet stage worker count for the kill/restore run")
+		fleetIvs  = flag.Int("fleet-intervals", 0, "fleet stage intervals per stream (0 = intervals/20)")
 	)
 	flag.Parse()
 
@@ -64,9 +76,50 @@ func main() {
 	if kr.Digest != ref.Digest {
 		fail("verdict comparison", fmt.Errorf("restored stream digest %#x != reference %#x", kr.Digest, ref.Digest))
 	}
+	fmt.Fprintf(os.Stderr, "soak: single-stream PASS — %d restores, digest %#x, heap steady (%.1f MiB)\n",
+		kr.Restores, kr.Digest, float64(kr.HeapFinal)/(1<<20))
+
+	if *streams > 0 {
+		ivs := *fleetIvs
+		if ivs == 0 {
+			ivs = *intervals / 20
+			if ivs < 500 {
+				ivs = 500
+			}
+		}
+		fcfg := soak.FleetConfig{
+			Streams:            *streams,
+			Intervals:          ivs,
+			Shards:             1,
+			SamplesPerInterval: *samples,
+			Seed:               *seed,
+			MaxHeapGrowth:      uint64(*heapMiB+4*(*streams)) << 20,
+		}
+		fmt.Fprintf(os.Stderr, "soak: fleet reference run, %d streams x %d intervals, 1 shard\n", *streams, ivs)
+		fref, err := soak.RunFleet(fcfg)
+		if err != nil {
+			fail("fleet reference run", err)
+		}
+		fcfg.Shards = *shards
+		fcfg.RestoreEvery = ivs / (*restores + 1)
+		fmt.Fprintf(os.Stderr, "soak: fleet kill/restore run, %d shards, checkpoint every %d rounds\n",
+			fcfg.Shards, fcfg.RestoreEvery)
+		fkr, err := soak.RunFleet(fcfg)
+		if err != nil {
+			fail("fleet kill/restore run", err)
+		}
+		for s := range fref.Digests {
+			if fkr.Digests[s] != fref.Digests[s] {
+				fail("fleet verdict comparison", fmt.Errorf("stream %d digest %#x != reference %#x",
+					s, fkr.Digests[s], fref.Digests[s]))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "soak: fleet PASS — %d restores across topologies 1→%d shards, digest %#x (%d snapshot bytes)\n",
+			fkr.Restores, fcfg.Shards, fkr.Digest, fkr.SnapshotBytes)
+	}
+
 	elapsed := time.Since(start).Round(time.Millisecond) //lint:allow determinism -- harness timing on stderr, not in results
-	fmt.Fprintf(os.Stderr, "soak: PASS in %v — %d restores, digest %#x, heap steady (%.1f MiB)\n",
-		elapsed, kr.Restores, kr.Digest, float64(kr.HeapFinal)/(1<<20))
+	fmt.Fprintf(os.Stderr, "soak: PASS in %v\n", elapsed)
 }
 
 func report(name string, r soak.Result) {

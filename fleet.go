@@ -1,0 +1,36 @@
+package regionmon
+
+import (
+	"regionmon/internal/ingest"
+)
+
+// Multi-stream ingestion (internal/ingest): one Fleet serves N
+// independent monitored streams — one detector Pipeline each — sharded
+// across a fixed worker pool with bounded lock-free queues. Per-stream
+// results are byte-identical regardless of shard count, and the whole
+// fleet checkpoints with Snapshot/Restore. See DESIGN.md §9.
+type (
+	// Fleet is the sharded multi-stream serving layer.
+	Fleet = ingest.Fleet
+	// FleetConfig parameterizes a Fleet (shards, queue capacity, the
+	// per-stream stack builder).
+	FleetConfig = ingest.Config
+	// StreamBuildFunc constructs one stream's detector Pipeline; it runs
+	// inside the owning shard worker, so the stack is worker-owned from
+	// birth.
+	StreamBuildFunc = ingest.BuildFunc
+	// FleetStats is a fleet backpressure summary (accepted, dropped,
+	// queue depths).
+	FleetStats = ingest.Stats
+	// ShardStats is one shard's backpressure accounting.
+	ShardStats = ingest.ShardStats
+	// StreamInfo is one stream's worker-side progress (intervals
+	// processed, verdict digest).
+	StreamInfo = ingest.StreamInfo
+)
+
+// NewFleet starts a fleet of numStreams monitored streams; every
+// stream's detector stack is built before it returns.
+func NewFleet(numStreams int, cfg FleetConfig) (*Fleet, error) {
+	return ingest.NewFleet(numStreams, cfg)
+}

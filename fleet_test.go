@@ -1,0 +1,110 @@
+package regionmon
+
+// Compile-and-smoke coverage for the fleet façade re-exports (fleet.go),
+// in the style of facade_test.go: a tiny fleet driven through façade
+// types only, checking determinism across shard counts and a
+// snapshot/restore round-trip.
+
+import (
+	"testing"
+)
+
+func fleetBuild(stream int) (*Pipeline, error) {
+	gdet, err := NewGlobalDetector(DefaultGlobalConfig())
+	if err != nil {
+		return nil, err
+	}
+	tr, err := NewPerfTracker(DefaultPerfConfig())
+	if err != nil {
+		return nil, err
+	}
+	pipe := NewPipeline()
+	pipe.MustRegister(AdaptGPD(gdet))
+	pipe.MustRegister(AdaptCPI(tr))
+	return pipe, nil
+}
+
+func fleetOverflow(buf []Sample, stream, seq int) *Overflow {
+	base := Addr(0x10000 + stream*0x2000 + seq/30%3*0x200)
+	cycle := uint64(seq) * 10000
+	for i := range buf {
+		cycle += 100
+		buf[i] = Sample{PC: base + Addr(i%16*4), Cycle: cycle, Instrs: 8}
+	}
+	return &Overflow{Seq: seq, Cycle: cycle, Samples: buf}
+}
+
+func runFacadeFleet(t *testing.T, shards, intervals int) ([]uint64, []byte) {
+	t.Helper()
+	const streams = 4
+	f, err := NewFleet(streams, FleetConfig{Shards: shards, MaxSamples: 16, Build: fleetBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]Sample, 16)
+	for seq := 0; seq < intervals; seq++ {
+		for s := 0; s < streams; s++ {
+			f.PushWait(s, fleetOverflow(buf, s, seq))
+		}
+	}
+	f.Drain()
+	var st FleetStats = f.Stats()
+	if st.Accepted != uint64(streams*intervals) || st.Dropped != 0 {
+		t.Fatalf("accepted/dropped = %d/%d, want %d/0", st.Accepted, st.Dropped, streams*intervals)
+	}
+	var ss ShardStats = st.Shards[0]
+	if ss.QueueCap == 0 {
+		t.Fatal("zero ring capacity reported")
+	}
+	digs := make([]uint64, streams)
+	for s := range digs {
+		var info StreamInfo
+		info, err = f.StreamInfo(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digs[s] = info.Digest
+	}
+	snap, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return digs, snap
+}
+
+func TestFacadeFleet(t *testing.T) {
+	var build StreamBuildFunc = fleetBuild
+	_ = build
+
+	solo, snapSolo := runFacadeFleet(t, 1, 90)
+	multi, snapMulti := runFacadeFleet(t, 3, 90)
+	for s := range solo {
+		if solo[s] != multi[s] {
+			t.Errorf("stream %d digest differs across shard counts: %#x vs %#x", s, solo[s], multi[s])
+		}
+	}
+	if string(snapSolo) != string(snapMulti) {
+		t.Error("fleet snapshot bytes depend on shard count")
+	}
+
+	// Restore into a fresh fleet and check the worker-side state arrived.
+	f, err := NewFleet(4, FleetConfig{Shards: 2, MaxSamples: 16, Build: fleetBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Restore(snapSolo); err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.StreamInfo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Intervals != 90 || info.Digest != solo[2] {
+		t.Errorf("restored stream 2 at %d intervals digest %#x; want 90, %#x", info.Intervals, info.Digest, solo[2])
+	}
+}

@@ -1,0 +1,125 @@
+package ingest
+
+import (
+	"sync/atomic"
+
+	"regionmon/internal/hpm"
+)
+
+// slot is one ring entry: either a batch (one stream's sampling interval,
+// samples copied into the slot's preallocated buffer) or a control op
+// (ctl != nil). Slot buffers are sized once at ring construction, so the
+// steady-state enqueue path never allocates.
+type slot struct {
+	ctl     *control
+	stream  int
+	seq     int
+	cycle   uint64
+	n       int          // samples used this delivery
+	samples []hpm.Sample // len = MaxSamples, filled [0:n)
+}
+
+// ring is a bounded single-producer single-consumer queue of slots. The
+// fleet's owning goroutine is the producer for every shard ring; each
+// shard's worker goroutine is the sole consumer of its own ring. With one
+// writer per index and the head/tail counters published through atomics,
+// the ring needs no locks: the producer only writes slots at tail (which
+// the consumer cannot read until tail is advanced), the consumer only
+// reads slots at head (which the producer cannot reuse until head is
+// advanced).
+//
+// Blocking is event-driven, not spinning: dataWake (capacity 1) carries
+// "something was published" from producer to consumer, spaceWake carries
+// "a slot was freed" back. Both are best-effort sticky tokens — a stale
+// token just causes one extra empty/full recheck — so notifications are
+// non-blocking sends and never allocate.
+type ring struct {
+	slots []slot
+	mask  uint64
+
+	head atomic.Uint64 // next slot to consume; advanced only by the consumer
+	tail atomic.Uint64 // next slot to produce; advanced only by the producer
+
+	dataWake  chan struct{}
+	spaceWake chan struct{}
+}
+
+// newRing returns a ring with capacity slots (rounded up to a power of
+// two) whose sample buffers hold maxSamples each.
+func newRing(capacity, maxSamples int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &ring{
+		slots:     make([]slot, n),
+		mask:      uint64(n - 1),
+		dataWake:  make(chan struct{}, 1),
+		spaceWake: make(chan struct{}, 1),
+	}
+	buf := make([]hpm.Sample, n*maxSamples)
+	for i := range r.slots {
+		r.slots[i].samples = buf[i*maxSamples : (i+1)*maxSamples]
+	}
+	return r
+}
+
+// cap returns the ring capacity in slots.
+func (r *ring) cap() int { return len(r.slots) }
+
+// depth returns the current number of queued slots (producer/consumer
+// safe; a racing read is at worst one off in either direction).
+func (r *ring) depth() int { return int(r.tail.Load() - r.head.Load()) }
+
+// reserve returns the next producer slot, or nil when the ring is full.
+// Producer-only. The slot is not visible to the consumer until publish.
+func (r *ring) reserve() *slot {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.slots)) {
+		return nil
+	}
+	return &r.slots[t&r.mask]
+}
+
+// reserveWait is reserve, blocking until a slot frees up. Producer-only.
+func (r *ring) reserveWait() *slot {
+	for {
+		if s := r.reserve(); s != nil {
+			return s
+		}
+		<-r.spaceWake
+	}
+}
+
+// publish makes the last reserved slot visible to the consumer and wakes
+// it if parked. Producer-only.
+func (r *ring) publish() {
+	r.tail.Store(r.tail.Load() + 1)
+	select {
+	case r.dataWake <- struct{}{}:
+	default:
+	}
+}
+
+// waitSlot returns the next queued slot, parking until one is published.
+// Consumer-only. The slot stays owned by the consumer until release.
+func (r *ring) waitSlot() *slot {
+	for {
+		h := r.head.Load()
+		if r.tail.Load() != h {
+			return &r.slots[h&r.mask]
+		}
+		<-r.dataWake
+	}
+}
+
+// release returns the current consumer slot to the producer and wakes it
+// if parked on a full ring. Consumer-only; call only after the slot's
+// contents are fully consumed (the producer may overwrite immediately).
+func (r *ring) release() {
+	r.head.Store(r.head.Load() + 1)
+	select {
+	case r.spaceWake <- struct{}{}:
+	default:
+	}
+}

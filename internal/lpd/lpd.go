@@ -186,6 +186,13 @@ type Detector struct {
 	// topk is the reusable working storage for the top-k metric, sized at
 	// construction so Observe stays allocation-free (nil for other metrics).
 	topk *stats.TopKScratch
+
+	// pref caches the reference histogram's float conversion and moments
+	// for the Pearson metric (nil for other metrics): the reference side
+	// of the correlation changes only when the reference is re-established,
+	// so Observe makes one fused pass over curr instead of recomputing
+	// both sides (see stats.PearsonRef). Kept in sync with ref by setRef.
+	pref *stats.PearsonRef
 }
 
 // New returns a detector for a region of numInstrs instructions.
@@ -198,8 +205,11 @@ func New(numInstrs int, cfg Config) (*Detector, error) {
 	}
 	d := &Detector{cfg: cfg, n: numInstrs, ref: make([]int64, numInstrs)}
 	d.rt = cfg.EffectiveRT(numInstrs)
-	if cfg.Metric == MetricTopK {
+	switch cfg.Metric {
+	case MetricTopK:
 		d.topk = stats.NewTopKScratch(numInstrs, cfg.TopK)
+	case MetricPearson:
+		d.pref = stats.NewPearsonRef(numInstrs)
 	}
 	return d, nil
 }
@@ -278,13 +288,25 @@ func (d *Detector) similarity(curr []int64) float64 {
 		}
 		return d.topk.Overlap(d.ref, curr, k)
 	default:
-		r, ok := stats.Pearson(d.ref, curr)
+		// One fused pass over curr against the cached reference moments;
+		// bit-identical to stats.Pearson(curr, d.ref).
+		r, ok := d.pref.Observe(curr)
 		if !ok {
 			// One side has zero variance while the other varies: the
 			// behaviour changed shape; treat as uncorrelated.
 			return 0
 		}
 		return r
+	}
+}
+
+// setRef re-establishes the reference histogram from curr, keeping the
+// Pearson moment cache (when present) in sync. This is the only place the
+// reference changes, so the cache can never go stale.
+func (d *Detector) setRef(curr []int64) {
+	copy(d.ref, curr)
+	if d.pref != nil {
+		d.pref.Set(d.ref)
 	}
 }
 
@@ -321,7 +343,7 @@ func (d *Detector) Observe(curr []int64) Verdict {
 	if !d.hasRef {
 		// First populated interval: establish the reference, remain
 		// Unstable ("after two intervals, an r-value can be computed").
-		copy(d.ref, curr)
+		d.setRef(curr)
 		d.hasRef = true
 		d.lastR = 0
 		v.R = 0
@@ -340,25 +362,25 @@ func (d *Detector) Observe(curr []int64) Verdict {
 		if similar {
 			d.state = LessUnstable
 		}
-		copy(d.ref, curr)
+		d.setRef(curr)
 		v.RefUpdated = true
 	case LessUnstable:
 		if similar {
 			d.state = Stable
 			// The reference is updated one final time on the
 			// transition, then frozen (Figure 12's edge labels).
-			copy(d.ref, curr)
+			d.setRef(curr)
 			v.RefUpdated = true
 		} else {
 			d.state = Unstable
-			copy(d.ref, curr)
+			d.setRef(curr)
 			v.RefUpdated = true
 		}
 	case Stable:
 		if !similar {
 			d.state = Unstable
 			d.changes++
-			copy(d.ref, curr)
+			d.setRef(curr)
 			v.RefUpdated = true
 		}
 	}

@@ -1,9 +1,12 @@
 package lpd
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"regionmon/internal/stats"
 )
 
 // hist builds a 10-entry histogram with a single bottleneck at idx.
@@ -399,6 +402,76 @@ func TestStringers(t *testing.T) {
 	}
 	if State(9).String() == "" || Metric(9).String() == "" {
 		t.Error("unknown enum values should render")
+	}
+}
+
+// TestObserveAllocs gates the hot-path contract for every metric: after
+// construction, Observe performs no allocations — in the frozen-reference
+// steady state and across reference re-establishment (the setRef path,
+// which refreshes the Pearson moment cache in place).
+func TestObserveAllocs(t *testing.T) {
+	for _, m := range []Metric{MetricPearson, MetricManhattan, MetricTopK} {
+		cfg := DefaultConfig()
+		cfg.Metric = m
+		d := MustNew(64, cfg)
+		similar := make([]int64, 64)
+		shifted := make([]int64, 64)
+		for i := range similar {
+			similar[i] = int64(i * 3 % 17)
+			shifted[i] = int64((i + 7) * 5 % 23)
+		}
+		similar[13], shifted[40] = 400, 400
+		d.Observe(similar)
+		d.Observe(similar)
+		if avg := testing.AllocsPerRun(100, func() { d.Observe(similar) }); avg != 0 {
+			t.Errorf("%v: steady-state Observe allocates %v per run; want 0", m, avg)
+		}
+		flip := false
+		if avg := testing.AllocsPerRun(100, func() {
+			// Alternate histograms so the detector keeps falling back to
+			// Unstable and re-establishing the reference.
+			if flip {
+				d.Observe(similar)
+			} else {
+				d.Observe(shifted)
+			}
+			flip = !flip
+		}); avg != 0 {
+			t.Errorf("%v: reference-churn Observe allocates %v per run; want 0", m, avg)
+		}
+	}
+}
+
+// TestObservePearsonMatchesUncached replays a mixed verdict stream through
+// the moment-cached detector and checks every similarity value against a
+// direct stats.Pearson recomputation over the detector's own reference —
+// the cache must never go stale or drift a single bit.
+func TestObservePearsonMatchesUncached(t *testing.T) {
+	d := MustNew(10, DefaultConfig())
+	rng := rand.New(rand.NewPCG(0xBEE5, 3))
+	for i := 0; i < 500; i++ {
+		h := make([]int64, 10)
+		switch rng.IntN(4) {
+		case 0: // empty interval
+		case 1:
+			copy(h, hist(3, 350, 10))
+		case 2:
+			copy(h, hist(rng.IntN(10), 350, 10))
+		default:
+			copy(h, hist(rng.IntN(10), int64(100+rng.IntN(500)), int64(1+rng.IntN(20))))
+		}
+		ref := d.Reference()
+		v := d.Observe(h)
+		if v.Empty || ref == nil {
+			continue
+		}
+		want, ok := stats.Pearson(h, ref)
+		if !ok {
+			want = 0
+		}
+		if math.Float64bits(v.R) != math.Float64bits(want) {
+			t.Fatalf("interval %d: cached r = %v, direct Pearson = %v", i, v.R, want)
+		}
 	}
 }
 

@@ -60,6 +60,12 @@ func (d *Detector) RestoreSnapshot(dec *snap.Decoder) error {
 	}
 	copy(d.ref, ref)
 	d.hasRef = hasRef
+	if d.pref != nil && hasRef {
+		// Rebuild the Pearson moment cache from the restored reference;
+		// the conversion is deterministic, so the resumed detector's r
+		// values stay bit-identical to the uninterrupted run's.
+		d.pref.Set(d.ref)
+	}
 	d.state = state
 	d.lastR = lastR
 	d.changes = changes

@@ -14,7 +14,6 @@ package soak
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 
 	"regionmon/internal/altdetect"
@@ -23,6 +22,7 @@ import (
 	"regionmon/internal/isa"
 	"regionmon/internal/pipeline"
 	"regionmon/internal/region"
+	"regionmon/internal/vhash"
 )
 
 // Config tunes one soak run. The zero value of every optional field
@@ -108,25 +108,25 @@ func Run(cfg Config) (Result, error) {
 	}
 	cfg = cfg.withDefaults()
 
-	prog, loops, err := buildProgram()
+	prog, loops, err := BuildProgram()
 	if err != nil {
 		return Result{}, err
 	}
-	pipe, err := newStack(prog)
+	pipe, err := NewStack(prog)
 	if err != nil {
 		return Result{}, err
 	}
 
-	dig := newDigest()
+	dig := vhash.New()
 	var hashErr error
 	obs := func(rep *pipeline.IntervalReport) {
-		if err := hashReport(dig, rep); err != nil && hashErr == nil {
+		if err := dig.Report(rep); err != nil && hashErr == nil {
 			hashErr = err
 		}
 	}
 	pipe.AddObserver(obs)
 
-	g := newGen(cfg.Seed, loops, cfg.SamplesPerInterval)
+	g := NewWorkload(cfg.Seed, loops, cfg.SamplesPerInterval)
 	var res Result
 	for i := 0; i < cfg.Intervals; i++ {
 		if cfg.RestoreEvery > 0 && i > 0 && i%cfg.RestoreEvery == 0 {
@@ -134,7 +134,7 @@ func Run(cfg Config) (Result, error) {
 			if err != nil {
 				return res, fmt.Errorf("soak: snapshot at interval %d: %w", i, err)
 			}
-			fresh, err := newStack(prog)
+			fresh, err := NewStack(prog)
 			if err != nil {
 				return res, err
 			}
@@ -146,7 +146,7 @@ func Run(cfg Config) (Result, error) {
 			res.Restores++
 			res.SnapshotBytes = len(snap)
 		}
-		pipe.ProcessOverflow(g.interval(i))
+		pipe.ProcessOverflow(g.Interval(i))
 		if hashErr != nil {
 			return res, hashErr
 		}
@@ -157,7 +157,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	res.Intervals = cfg.Intervals
-	res.Digest = dig.h
+	res.Digest = dig.Sum()
 	res.HeapFinal = heapAlloc()
 	if res.HeapFinal > res.HeapBaseline+cfg.MaxHeapGrowth {
 		return res, fmt.Errorf("soak: heap grew %d bytes over %d intervals (baseline %d, final %d, budget %d)",
@@ -175,10 +175,10 @@ func heapAlloc() uint64 {
 	return ms.HeapAlloc
 }
 
-// buildProgram constructs the soak workload's program: two procedures,
+// BuildProgram constructs the soak workload's program: two procedures,
 // four loops of different sizes and kinds, separated by straight-line
 // code so formation always has an innermost loop to latch onto.
-func buildProgram() (*isa.Program, []isa.LoopSpan, error) {
+func BuildProgram() (*isa.Program, []isa.LoopSpan, error) {
 	b := isa.NewBuilder(0x10000)
 	p := b.Proc("main")
 	p.Code(32, isa.KindALU)
@@ -198,11 +198,11 @@ func buildProgram() (*isa.Program, []isa.LoopSpan, error) {
 	return prog, []isa.LoopSpan{l1, l2, l3, l4}, nil
 }
 
-// newStack builds one full monitoring stack over prog: pipeline with
+// NewStack builds one full monitoring stack over prog: pipeline with
 // GPD, region monitor (bounded UCR history — the default), BBV, working
 // set and a CPI tracker. Every component uses its default configuration
 // so a soak exercises exactly what users get.
-func newStack(prog *isa.Program) (*pipeline.Pipeline, error) {
+func NewStack(prog *isa.Program) (*pipeline.Pipeline, error) {
 	gdet, err := gpd.New(gpd.DefaultConfig())
 	if err != nil {
 		return nil, err
@@ -238,23 +238,27 @@ func newStack(prog *isa.Program) (*pipeline.Pipeline, error) {
 	return pipe, nil
 }
 
-// gen is the deterministic workload generator. Each interval rotates
+// Workload is the deterministic workload generator. Each interval rotates
 // through phases that weight two of the four loops, with a small idle
 // (PC 0) fraction and a sparse partial-buffer interval every 97th
-// delivery — the shapes the hardening fixes are about.
-type gen struct {
+// delivery — the shapes the hardening fixes are about. It is exported for
+// the fleet soak mode and cmd/benchingest, which drive many independent
+// Workloads (one per stream) over the same program.
+type Workload struct {
 	rng     uint64
 	loops   []isa.LoopSpan
 	samples []hpm.Sample // reused across intervals, like a real hpm buffer
 	cycle   uint64
 }
 
-func newGen(seed uint64, loops []isa.LoopSpan, buf int) *gen {
-	return &gen{rng: seed, loops: loops, samples: make([]hpm.Sample, buf)}
+// NewWorkload returns a generator seeded with seed over the given loops
+// (from BuildProgram), emitting buf samples per interval.
+func NewWorkload(seed uint64, loops []isa.LoopSpan, buf int) *Workload {
+	return &Workload{rng: seed, loops: loops, samples: make([]hpm.Sample, buf)}
 }
 
 // next is splitmix64.
-func (g *gen) next() uint64 {
+func (g *Workload) next() uint64 {
 	g.rng += 0x9e3779b97f4a7c15
 	z := g.rng
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -266,7 +270,10 @@ func (g *gen) next() uint64 {
 // shifts to the next loop pair.
 const phaseLen = 160
 
-func (g *gen) interval(i int) *hpm.Overflow {
+// Interval produces the i'th sampling interval. The returned overflow
+// aliases the generator's reusable sample buffer: consume (or copy) it
+// before requesting the next interval.
+func (g *Workload) Interval(i int) *hpm.Overflow {
 	phase := (i / phaseLen) % len(g.loops)
 	hot := g.loops[phase]
 	warm := g.loops[(phase+1)%len(g.loops)]
@@ -306,105 +313,5 @@ func loopPC(span isa.LoopSpan, r uint64) isa.Addr {
 	return span.Start + isa.Addr(r%uint64(span.NumInstrs()))*isa.InstrBytes
 }
 
-// digest is an incremental FNV-1a over the verdict stream. Hashing in
-// the observer (rather than retaining verdicts) keeps the harness itself
-// O(1) in memory, so it cannot mask a detector leak.
-type digest struct{ h uint64 }
-
-func newDigest() *digest { return &digest{h: 0xcbf29ce484222325} }
-
-func (d *digest) byte(b byte) { d.h = (d.h ^ uint64(b)) * 0x100000001b3 }
-func (d *digest) bool(v bool) {
-	if v {
-		d.byte(1)
-	} else {
-		d.byte(0)
-	}
-}
-func (d *digest) f64(v float64) { d.u64(math.Float64bits(v)) }
-func (d *digest) int(v int)     { d.u64(uint64(int64(v))) }
-func (d *digest) u64(v uint64) {
-	for i := 0; i < 64; i += 8 {
-		d.byte(byte(v >> i))
-	}
-}
-func (d *digest) str(s string) {
-	d.int(len(s))
-	for i := 0; i < len(s); i++ {
-		d.byte(s[i])
-	}
-}
-
-// hashReport folds every field of every verdict — including the typed
-// payloads, floats bit-exact — into the digest. An unknown payload type
-// is an error: a soak that silently skipped a detector's output would
-// prove nothing about it.
-func hashReport(d *digest, rep *pipeline.IntervalReport) error {
-	d.int(rep.Seq)
-	d.u64(rep.Cycle)
-	d.int(len(rep.Verdicts))
-	for i := range rep.Verdicts {
-		v := &rep.Verdicts[i]
-		d.str(v.Detector)
-		d.bool(v.Stable)
-		d.bool(v.PhaseChange)
-		switch p := v.Payload.(type) {
-		case *gpd.Verdict:
-			d.int(int(p.State))
-			d.int(int(p.Prev))
-			d.bool(p.PhaseChange)
-			d.bool(p.Drastic)
-			d.f64(p.Centroid)
-			d.f64(p.Delta)
-			d.f64(p.BandLow)
-			d.f64(p.BandHigh)
-		case *region.Report:
-			hashRegionReport(d, p)
-		case *altdetect.Verdict:
-			d.f64(p.Similarity)
-			d.bool(p.Changed)
-			d.int(p.Blocks)
-		case *gpd.PerfVerdict:
-			d.f64(p.Value)
-			d.f64(p.Mean)
-			d.f64(p.SD)
-			d.f64(p.Delta)
-			d.bool(p.Changed)
-		default:
-			return fmt.Errorf("soak: unknown verdict payload %T from detector %q", v.Payload, v.Detector)
-		}
-	}
-	return nil
-}
-
-func hashRegionReport(d *digest, r *region.Report) {
-	d.int(r.Seq)
-	d.int(r.TotalSamples)
-	d.int(r.MonitoredSamples)
-	d.int(r.UCRSamples)
-	d.int(r.IdleSamples)
-	d.f64(r.UCRFraction)
-	d.bool(r.FormationTriggered)
-	d.int(len(r.NewRegions))
-	for _, reg := range r.NewRegions {
-		d.int(reg.ID)
-		d.u64(uint64(reg.Start))
-		d.u64(uint64(reg.End))
-	}
-	d.int(len(r.Pruned))
-	for _, reg := range r.Pruned {
-		d.int(reg.ID)
-	}
-	d.int(len(r.Verdicts))
-	for i := range r.Verdicts {
-		rv := &r.Verdicts[i]
-		d.int(rv.Region.ID)
-		d.int(int(rv.Verdict.State))
-		d.int(int(rv.Verdict.Prev))
-		d.f64(rv.Verdict.R)
-		d.bool(rv.Verdict.PhaseChange)
-		d.bool(rv.Verdict.Empty)
-		d.bool(rv.Verdict.RefUpdated)
-		d.int(rv.Samples)
-	}
-}
+// The verdict-stream digest lives in internal/vhash (shared with the
+// ingest fleet's determinism and kill/restore proofs).

@@ -9,7 +9,10 @@
 // configuration happens every few million simulated cycles.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Pearson computes Pearson's coefficient of correlation r between two
 // equal-length sample vectors x and y. It is the similarity metric of the
@@ -128,26 +131,16 @@ func Manhattan(x, y []int64) float64 {
 // k largest entries of x and y (1 = same hot instructions, 0 = disjoint).
 // It is the second cheap similarity metric used in the ablation study.
 // k is clamped to len(x). Ties are broken by lower index.
+//
+// TopKOverlap is the convenience form for offline analysis and tests: it
+// sizes a fresh TopKScratch per call and delegates, so there is exactly
+// one selection implementation and no per-call map churn. Per-interval
+// callers hold a construction-time TopKScratch and call Overlap directly.
 func TopKOverlap(x, y []int64, k int) float64 {
 	if len(x) != len(y) || len(x) == 0 || k <= 0 {
 		return 0
 	}
-	if k > len(x) {
-		k = len(x)
-	}
-	xs := topKIndices(x, k)
-	ys := topKIndices(y, k)
-	inY := make(map[int]struct{}, k)
-	for _, i := range ys {
-		inY[i] = struct{}{}
-	}
-	overlap := 0
-	for _, i := range xs {
-		if _, ok := inY[i]; ok {
-			overlap++
-		}
-	}
-	return float64(overlap) / float64(k)
+	return NewTopKScratch(len(x), k).Overlap(x, y, k)
 }
 
 // TopKScratch is caller-owned working storage for scratch-based top-k
@@ -228,28 +221,103 @@ func (s *TopKScratch) selectTopK(v []int64, k int, dst []int) []int {
 	return dst
 }
 
-// topKIndices returns the indices of the k largest values in v.
-// Simple selection; k is small (typically <= 16) in detector use.
-func topKIndices(v []int64, k int) []int {
-	idx := make([]int, 0, k)
-	used := make([]bool, len(v))
-	for j := 0; j < k; j++ {
-		best := -1
-		for i, val := range v {
-			if used[i] {
-				continue
-			}
-			if best == -1 || val > v[best] {
-				best = i
-			}
-		}
-		if best == -1 {
-			break
-		}
-		used[best] = true
-		idx = append(idx, best)
+// PearsonRef is the fused-kernel form of Pearson for the detector hot
+// loop: one side of the correlation (the reference histogram, the paper's
+// prev_hist) changes only when a detector re-establishes its reference,
+// while the other side arrives fresh every sampling interval. PearsonRef
+// caches the reference's float conversion and moments (Σy, Σy², variance
+// term) at Set time, so Observe makes a single fused pass accumulating
+// only Σx, Σx² and Σxy — roughly half the floating-point work of the
+// two-vector Pearson — while producing bit-identical r values (the same
+// accumulators are summed in the same index order and combined with the
+// same expressions).
+//
+// A PearsonRef is sized once at construction and performs no allocation
+// in Set or Observe; like the detectors that own one, it is single-owner.
+type PearsonRef struct {
+	y   []float64 // float-converted reference histogram
+	sy  float64   // Σy
+	syy float64   // Σy²
+	vy  float64   // Σy² − (Σy)²/n, the reference's variance term
+	set bool
+}
+
+// NewPearsonRef returns a reference cache for histograms of exactly n
+// entries. NewPearsonRef panics if n < 1: a zero-length histogram cannot
+// correlate and indicates a configuration bug.
+func NewPearsonRef(n int) *PearsonRef {
+	if n < 1 {
+		panic("stats: PearsonRef needs at least one histogram entry")
 	}
-	return idx
+	return &PearsonRef{y: make([]float64, n)}
+}
+
+// N returns the histogram length the cache was built for.
+func (p *PearsonRef) N() int { return len(p.y) }
+
+// Set (re)establishes the reference histogram, converting it to float64
+// and recomputing its moments in one pass. ref must have exactly N
+// entries; Set panics otherwise (the caller owns the histogram layout, a
+// mismatch is a bug).
+func (p *PearsonRef) Set(ref []int64) {
+	if len(ref) != len(p.y) {
+		panic(fmt.Sprintf("stats: reference has %d entries for a %d-entry PearsonRef", len(ref), len(p.y)))
+	}
+	var sy, syy float64
+	for i, v := range ref {
+		yf := float64(v)
+		p.y[i] = yf
+		sy += yf
+		syy += yf * yf
+	}
+	p.sy, p.syy = sy, syy
+	p.vy = syy - sy*sy/float64(len(p.y))
+	p.set = true
+}
+
+// Mean returns the cached reference's mean sample count (0 before Set).
+func (p *PearsonRef) Mean() float64 {
+	if !p.set {
+		return 0
+	}
+	return p.sy / float64(len(p.y))
+}
+
+// Observe computes Pearson(x, ref) against the cached reference in a
+// single fused pass over x. The result is bit-identical to
+// Pearson(x, ref) with the reference passed as the second argument,
+// including the zero-variance conventions. Before Set, or for a
+// mis-sized x, Observe returns (0, false).
+func (p *PearsonRef) Observe(x []int64) (r float64, ok bool) {
+	n := len(p.y)
+	if !p.set || len(x) != n {
+		return 0, false
+	}
+	y := p.y
+	var sx, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		xf := float64(x[i])
+		sx += xf
+		sxx += xf * xf
+		sxy += xf * y[i]
+	}
+	nf := float64(n)
+	vx := sxx - sx*sx/nf
+	if vx <= 0 || p.vy <= 0 {
+		// Same zero-variance conventions as Pearson: two flat vectors are
+		// perfect agreement, one flat side is no information.
+		if vx <= 0 && p.vy <= 0 {
+			return 1, true
+		}
+		return 0, false
+	}
+	r = (sxy - sx*p.sy/nf) / math.Sqrt(vx*p.vy)
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, true
 }
 
 // Mean returns the arithmetic mean of v, or 0 for an empty slice.

@@ -230,6 +230,141 @@ func TestTopKScratchNoAllocs(t *testing.T) {
 	}
 }
 
+// TestPearsonRefBitIdentical pins the fused kernel's contract: for any
+// reference/current pair — including zero-variance, negative and empty-ish
+// shapes — PearsonRef.Observe returns exactly the bits Pearson returns.
+func TestPearsonRefBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xFE44, 7))
+	for _, n := range []int{1, 2, 3, 8, 64, 257} {
+		p := NewPearsonRef(n)
+		for trial := 0; trial < 200; trial++ {
+			ref := make([]int64, n)
+			cur := make([]int64, n)
+			switch trial % 5 {
+			case 0: // flat reference
+				for i := range ref {
+					ref[i] = 7
+					cur[i] = int64(rng.IntN(50))
+				}
+			case 1: // flat current
+				for i := range ref {
+					ref[i] = int64(rng.IntN(50))
+					cur[i] = 3
+				}
+			case 2: // both flat
+				for i := range ref {
+					ref[i], cur[i] = 9, 4
+				}
+			case 3: // negative entries exercise the general formula
+				for i := range ref {
+					ref[i] = int64(rng.IntN(200)) - 100
+					cur[i] = int64(rng.IntN(200)) - 100
+				}
+			default:
+				for i := range ref {
+					ref[i] = int64(rng.IntN(400))
+					cur[i] = int64(rng.IntN(400))
+				}
+			}
+			p.Set(ref)
+			gotR, gotOK := p.Observe(cur)
+			wantR, wantOK := Pearson(cur, ref)
+			if gotOK != wantOK || math.Float64bits(gotR) != math.Float64bits(wantR) {
+				t.Fatalf("n=%d trial %d: PearsonRef.Observe = (%v, %v); Pearson = (%v, %v)",
+					n, trial, gotR, gotOK, wantR, wantOK)
+			}
+		}
+	}
+}
+
+func TestPearsonRefShapes(t *testing.T) {
+	p := NewPearsonRef(4)
+	if _, ok := p.Observe([]int64{1, 2, 3, 4}); ok {
+		t.Error("Observe before Set should be undefined")
+	}
+	if m := p.Mean(); m != 0 {
+		t.Errorf("Mean before Set = %v; want 0", m)
+	}
+	p.Set([]int64{2, 4, 6, 8})
+	if m := p.Mean(); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %v; want 5", m)
+	}
+	if p.N() != 4 {
+		t.Errorf("N = %d; want 4", p.N())
+	}
+	if _, ok := p.Observe([]int64{1, 2, 3}); ok {
+		t.Error("Observe with mis-sized histogram should be undefined")
+	}
+	// Re-Set replaces the cached moments entirely.
+	p.Set([]int64{1, 1, 1, 1})
+	if r, ok := p.Observe([]int64{5, 5, 5, 5}); !ok || r != 1 {
+		t.Errorf("flat/flat after re-Set = %v, %v; want 1, true", r, ok)
+	}
+	mustPanic(t, "NewPearsonRef(0)", func() { NewPearsonRef(0) })
+	mustPanic(t, "Set size mismatch", func() { p.Set([]int64{1}) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestPearsonRefNoAllocs pins the fused kernel's hot-path contract: once
+// constructed, both Set (reference re-establishment) and Observe (the
+// per-interval pass) perform no allocations.
+func TestPearsonRefNoAllocs(t *testing.T) {
+	const n = 64
+	p := NewPearsonRef(n)
+	ref := make([]int64, n)
+	cur := make([]int64, n)
+	for i := range ref {
+		ref[i] = int64(i * 3 % 17)
+		cur[i] = int64(i * 5 % 19)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { p.Set(ref) }); allocs != 0 {
+		t.Errorf("PearsonRef.Set allocates %v per run; want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { p.Observe(cur) }); allocs != 0 {
+		t.Errorf("PearsonRef.Observe allocates %v per run; want 0", allocs)
+	}
+}
+
+func BenchmarkPearson(b *testing.B) {
+	x, y := benchHistograms(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pearson(x, y)
+	}
+}
+
+func BenchmarkPearsonRefObserve(b *testing.B) {
+	x, y := benchHistograms(64)
+	p := NewPearsonRef(64)
+	p.Set(y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(x)
+	}
+}
+
+func benchHistograms(n int) (x, y []int64) {
+	x = make([]int64, n)
+	y = make([]int64, n)
+	for i := range x {
+		x[i] = int64(i * 3 % 17)
+		y[i] = int64(i * 3 % 17)
+	}
+	x[13], y[13] = 400, 380
+	return x, y
+}
+
 func TestMeanStdDevMedian(t *testing.T) {
 	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	if m := Mean(v); !almost(m, 5, 1e-12) {

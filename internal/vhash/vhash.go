@@ -1,0 +1,148 @@
+// Package vhash digests detector verdict streams: an incremental FNV-1a
+// over every field of every verdict a pipeline emits, floats bit-exact.
+// Two runs with equal digests emitted identical verdict streams, so a
+// digest comparison is an exact equality proof — the property the soak
+// harness's kill/restore check and the ingest fleet's shard-determinism
+// tests both rest on.
+//
+// Hashing in an observer (rather than retaining verdicts) keeps the
+// consumer O(1) in memory, so a digest cannot mask a detector leak; and
+// the digest state is a single uint64, so it checkpoints alongside the
+// detector stack (Sum/Resume) and a restored stream's digest continues
+// exactly where the killed one stopped.
+package vhash
+
+import (
+	"fmt"
+	"math"
+
+	"regionmon/internal/altdetect"
+	"regionmon/internal/gpd"
+	"regionmon/internal/pipeline"
+	"regionmon/internal/region"
+)
+
+const (
+	offset64 = 0xcbf29ce484222325
+	prime64  = 0x100000001b3
+)
+
+// Digest is an incremental FNV-1a over a verdict stream. The zero value
+// is not ready; construct with New or Resume.
+type Digest struct{ h uint64 }
+
+// New returns an empty digest (FNV-1a offset basis).
+func New() *Digest { return &Digest{h: offset64} }
+
+// Resume returns a digest continuing from a previously captured Sum, for
+// restoring a checkpointed stream consumer.
+func Resume(sum uint64) *Digest { return &Digest{h: sum} }
+
+// Sum returns the current digest value.
+func (d *Digest) Sum() uint64 { return d.h }
+
+func (d *Digest) byte(b byte) { d.h = (d.h ^ uint64(b)) * prime64 }
+
+// Bool folds one bool into the digest.
+func (d *Digest) Bool(v bool) {
+	if v {
+		d.byte(1)
+	} else {
+		d.byte(0)
+	}
+}
+
+// F64 folds a float64 into the digest, bit-exact.
+func (d *Digest) F64(v float64) { d.U64(math.Float64bits(v)) }
+
+// Int folds an int into the digest (as its int64 bits).
+func (d *Digest) Int(v int) { d.U64(uint64(int64(v))) }
+
+// U64 folds a uint64 into the digest, little-endian byte order.
+func (d *Digest) U64(v uint64) {
+	for i := 0; i < 64; i += 8 {
+		d.byte(byte(v >> i))
+	}
+}
+
+// Str folds a length-prefixed string into the digest.
+func (d *Digest) Str(s string) {
+	d.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+}
+
+// Report folds every field of every verdict in one merged interval
+// report — including the typed payloads, floats bit-exact — into the
+// digest. An unknown payload type is an error: a consumer that silently
+// skipped a detector's output would prove nothing about it.
+func (d *Digest) Report(rep *pipeline.IntervalReport) error {
+	d.Int(rep.Seq)
+	d.U64(rep.Cycle)
+	d.Int(len(rep.Verdicts))
+	for i := range rep.Verdicts {
+		v := &rep.Verdicts[i]
+		d.Str(v.Detector)
+		d.Bool(v.Stable)
+		d.Bool(v.PhaseChange)
+		switch p := v.Payload.(type) {
+		case *gpd.Verdict:
+			d.Int(int(p.State))
+			d.Int(int(p.Prev))
+			d.Bool(p.PhaseChange)
+			d.Bool(p.Drastic)
+			d.F64(p.Centroid)
+			d.F64(p.Delta)
+			d.F64(p.BandLow)
+			d.F64(p.BandHigh)
+		case *region.Report:
+			d.regionReport(p)
+		case *altdetect.Verdict:
+			d.F64(p.Similarity)
+			d.Bool(p.Changed)
+			d.Int(p.Blocks)
+		case *gpd.PerfVerdict:
+			d.F64(p.Value)
+			d.F64(p.Mean)
+			d.F64(p.SD)
+			d.F64(p.Delta)
+			d.Bool(p.Changed)
+		default:
+			return fmt.Errorf("vhash: unknown verdict payload %T from detector %q", v.Payload, v.Detector)
+		}
+	}
+	return nil
+}
+
+func (d *Digest) regionReport(r *region.Report) {
+	d.Int(r.Seq)
+	d.Int(r.TotalSamples)
+	d.Int(r.MonitoredSamples)
+	d.Int(r.UCRSamples)
+	d.Int(r.IdleSamples)
+	d.F64(r.UCRFraction)
+	d.Bool(r.FormationTriggered)
+	d.Int(len(r.NewRegions))
+	for _, reg := range r.NewRegions {
+		d.Int(reg.ID)
+		d.U64(uint64(reg.Start))
+		d.U64(uint64(reg.End))
+	}
+	d.Int(len(r.Pruned))
+	for _, reg := range r.Pruned {
+		d.Int(reg.ID)
+	}
+	d.Int(len(r.Verdicts))
+	for i := range r.Verdicts {
+		rv := &r.Verdicts[i]
+		d.Int(rv.Region.ID)
+		d.Int(int(rv.Verdict.State))
+		d.Int(int(rv.Verdict.Prev))
+		d.F64(rv.Verdict.R)
+		d.Bool(rv.Verdict.PhaseChange)
+		d.Bool(rv.Verdict.Empty)
+		d.Bool(rv.Verdict.RefUpdated)
+		d.Int(rv.Samples)
+	}
+}

@@ -1,0 +1,124 @@
+package vhash
+
+import (
+	"testing"
+
+	"regionmon/internal/gpd"
+	"regionmon/internal/hpm"
+	"regionmon/internal/isa"
+	"regionmon/internal/pipeline"
+)
+
+func testPipeline(t *testing.T) *pipeline.Pipeline {
+	t.Helper()
+	gdet, err := gpd.New(gpd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gpd.NewPerfTracker(gpd.DefaultPerfConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := pipeline.New()
+	pipe.MustRegister(pipeline.NewGPD(gdet))
+	pipe.MustRegister(pipeline.NewCPI(tr))
+	return pipe
+}
+
+func overflow(seq int) *hpm.Overflow {
+	samples := make([]hpm.Sample, 16)
+	for i := range samples {
+		samples[i] = hpm.Sample{
+			PC:     isa.Addr(0x10000 + 4*(seq%3*16+i)),
+			Cycle:  uint64(seq*1600 + i*100),
+			Instrs: 10,
+		}
+	}
+	return &hpm.Overflow{Seq: seq, Cycle: uint64(seq*1600 + 1500), Samples: samples}
+}
+
+func runDigest(t *testing.T, intervals int, d *Digest) {
+	t.Helper()
+	pipe := testPipeline(t)
+	pipe.AddObserver(func(rep *pipeline.IntervalReport) {
+		if err := d.Report(rep); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for i := 0; i < intervals; i++ {
+		pipe.ProcessOverflow(overflow(i))
+	}
+}
+
+// TestDigestDeterministic: the same verdict stream hashes to the same sum,
+// and a different stream to a different one.
+func TestDigestDeterministic(t *testing.T) {
+	a, b := New(), New()
+	runDigest(t, 40, a)
+	runDigest(t, 40, b)
+	if a.Sum() != b.Sum() {
+		t.Fatalf("equal streams digest to %#x vs %#x", a.Sum(), b.Sum())
+	}
+	if a.Sum() == New().Sum() {
+		t.Fatal("digest never advanced")
+	}
+	c := New()
+	runDigest(t, 41, c)
+	if c.Sum() == a.Sum() {
+		t.Fatal("different streams digest equal")
+	}
+}
+
+// TestResumeContinuity: splitting a stream across Sum/Resume produces the
+// same digest as hashing it in one piece — the property fleet checkpoint
+// fidelity rests on.
+func TestResumeContinuity(t *testing.T) {
+	whole := New()
+	whole.Int(1)
+	whole.U64(99)
+	whole.F64(3.5)
+	whole.Bool(true)
+	whole.Str("regions")
+
+	first := New()
+	first.Int(1)
+	first.U64(99)
+	second := Resume(first.Sum())
+	second.F64(3.5)
+	second.Bool(true)
+	second.Str("regions")
+	if whole.Sum() != second.Sum() {
+		t.Fatalf("resumed digest %#x != one-piece digest %#x", second.Sum(), whole.Sum())
+	}
+}
+
+// TestUnknownPayload: a report carrying an unregistered payload type must
+// be an error, never silently skipped.
+func TestUnknownPayload(t *testing.T) {
+	d := New()
+	rep := &pipeline.IntervalReport{
+		Seq:      0,
+		Verdicts: []pipeline.Verdict{{Detector: "mystery", Payload: struct{ X int }{1}}},
+	}
+	if err := d.Report(rep); err == nil {
+		t.Fatal("unknown payload hashed without error")
+	}
+}
+
+// TestReportNoAllocs pins the hot-path contract: hashing a report must not
+// allocate (the digest runs inside per-interval observers).
+func TestReportNoAllocs(t *testing.T) {
+	pipe := testPipeline(t)
+	d := New()
+	var rep *pipeline.IntervalReport
+	for i := 0; i < 8; i++ {
+		rep = pipe.ProcessOverflow(overflow(i))
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := d.Report(rep); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Report allocates %v per run; want 0", avg)
+	}
+}
