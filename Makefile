@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchingest ingest-smoke soak soak-short check
+.PHONY: all build vet lint test race bench benchingest ingest-smoke benchregion region-smoke soak soak-short check
 
 all: check
 
@@ -44,6 +44,19 @@ benchingest:
 ingest-smoke:
 	$(GO) run ./cmd/benchingest -intervals 5000 > /dev/null
 
+# Regenerate the committed sample-distribution baseline: ns/interval and
+# samples/sec for list vs tree vs batched epoch at 4/64/512 regions, plus
+# the end-to-end fleet delta, with cross-structure digest verification
+# before any number is reported.
+benchregion:
+	$(GO) run ./cmd/benchregion > BENCH_region.json
+
+# Short distribution smoke for `make check`/CI: tiny runs of the same
+# harness, failing unless all three structures' verdict digests agree
+# (throughput JSON discarded).
+region-smoke:
+	$(GO) run ./cmd/benchregion -smoke > /dev/null
+
 # Long-run hardening harness (cmd/soak): millions of intervals through
 # the full detector stack, asserting a steady heap and byte-identical
 # verdict streams across mid-run kill/restore — first single-stream, then
@@ -56,4 +69,4 @@ soak:
 soak-short:
 	$(GO) run ./cmd/soak -intervals 60000
 
-check: vet build lint test race bench ingest-smoke soak-short
+check: vet build lint test race bench ingest-smoke region-smoke soak-short

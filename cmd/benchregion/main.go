@@ -1,0 +1,368 @@
+// Command benchregion measures sample-distribution throughput — the
+// region monitor's ns/interval and samples/sec — across the three
+// distribution structures (linear list, interval tree, batched epoch
+// index) at several region counts, and emits the result as JSON (the
+// committed BENCH_region.json). Before any timing is reported, the
+// verdict digests of every structure are verified identical to the list
+// run: a throughput number from a path that changed its answers would be
+// meaningless. A fleet section reports the end-to-end ingest delta of the
+// epoch path over the list on region-monitor-only stream stacks.
+//
+// Usage:
+//
+//	go run ./cmd/benchregion > BENCH_region.json
+//	go run ./cmd/benchregion -full    # longer runs (minutes)
+//	go run ./cmd/benchregion -smoke   # digest verification only (CI)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"regionmon/internal/hpm"
+	"regionmon/internal/ingest"
+	"regionmon/internal/isa"
+	"regionmon/internal/pipeline"
+	"regionmon/internal/region"
+	"regionmon/internal/vhash"
+)
+
+// kindRun is one (region count, structure) timing.
+type kindRun struct {
+	Index         string  `json:"index"`
+	Seconds       float64 `json:"seconds"`
+	NsPerInterval float64 `json:"ns_per_interval"`
+	SamplesPerSec float64 `json:"samples_per_second"`
+}
+
+// grid is one region count's three-way comparison.
+type grid struct {
+	Regions          int       `json:"regions"`
+	Runs             []kindRun `json:"runs"`
+	EpochSpeedupList float64   `json:"epoch_speedup_vs_list"`
+	EpochSpeedupTree float64   `json:"epoch_speedup_vs_tree"`
+}
+
+// fleetResult is the end-to-end ingest delta.
+type fleetResult struct {
+	Streams         int     `json:"streams"`
+	Shards          int     `json:"shards"`
+	Intervals       int     `json:"intervals_per_stream"`
+	Regions         int     `json:"regions"`
+	ListIntervalSec float64 `json:"list_intervals_per_second"`
+	EpochIntervalSc float64 `json:"epoch_intervals_per_second"`
+	EpochSpeedup    float64 `json:"epoch_speedup_vs_list"`
+}
+
+type report struct {
+	Workload struct {
+		SamplesPerInterval int `json:"samples_per_interval"`
+		Intervals          int `json:"intervals"`
+		Warmup             int `json:"warmup"`
+	} `json:"workload"`
+	Scale   string `json:"scale"` // "smoke", "quick" or "full"
+	Machine struct {
+		GOOS   string `json:"goos"`
+		GOARCH string `json:"goarch"`
+		CPUs   int    `json:"cpus"`
+	} `json:"machine"`
+	DigestsIdentical bool         `json:"cross_index_digests_identical"`
+	Grids            []grid       `json:"grids"`
+	Fleet            *fleetResult `json:"fleet,omitempty"`
+}
+
+var indexKinds = []struct {
+	name string
+	kind region.IndexKind
+}{
+	{"list", region.IndexList},
+	{"tree", region.IndexTree},
+	{"epoch", region.IndexEpoch},
+}
+
+func main() {
+	var (
+		smoke     = flag.Bool("smoke", false, "digest verification only: tiny runs, timings not meaningful")
+		full      = flag.Bool("full", false, "longer runs for stabler numbers")
+		intervals = flag.Int("intervals", 2000, "timed intervals per run (quick scale)")
+		samples   = flag.Int("samples", hpm.DefaultBufferSize, "samples per interval")
+	)
+	flag.Parse()
+
+	scale := "quick"
+	switch {
+	case *smoke:
+		*intervals = 200
+		scale = "smoke"
+	case *full:
+		*intervals *= 10
+		scale = "full"
+	}
+
+	rep, err := buildReport(*intervals, *samples, scale)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if !rep.DigestsIdentical {
+		fatal(fmt.Errorf("verdict digests differ across distribution structures"))
+	}
+}
+
+// buildProgram assembles a synthetic program with nLoops natural loops
+// spread over procedures, returning the loop spans (each becomes one
+// monitored region).
+func buildProgram(nLoops int) (*isa.Program, []isa.LoopSpan, error) {
+	const loopsPerProc = 32
+	b := isa.NewBuilder(0x10000)
+	spans := make([]isa.LoopSpan, 0, nLoops)
+	var p *isa.ProcBuilder
+	for i := 0; i < nLoops; i++ {
+		if i%loopsPerProc == 0 {
+			p = b.Proc(fmt.Sprintf("p%d", i/loopsPerProc))
+			p.Code(8, isa.KindALU)
+		}
+		body := []isa.Kind{isa.KindLoad, isa.KindALU, isa.KindALU, isa.KindStore}
+		spans = append(spans, p.Loop(16+(i%5)*4, body, nil))
+		p.Code(6, isa.KindALU)
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, spans, nil
+}
+
+// gen is the deterministic loopy workload: most samples land in a small
+// rotating hot set of loops (heavy PC repetition, the shape count
+// compression exploits), with straight-line stragglers and idle samples
+// so UCR accounting runs but never trips formation.
+type gen struct {
+	rng     uint64
+	spans   []isa.LoopSpan
+	samples []hpm.Sample
+	cycle   uint64
+}
+
+func newGen(seed uint64, spans []isa.LoopSpan, buf int) *gen {
+	return &gen{rng: seed, spans: spans, samples: make([]hpm.Sample, buf)}
+}
+
+// next is splitmix64.
+func (g *gen) next() uint64 {
+	g.rng += 0x9e3779b97f4a7c15
+	z := g.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *gen) interval(i int) *hpm.Overflow {
+	hotBase := (i / 50) % len(g.spans)
+	for s := range g.samples {
+		g.cycle += 60 + g.next()%40
+		var pc isa.Addr
+		switch r := g.next() % 100; {
+		case r < 3:
+			pc = 0 // idle
+		case r < 88:
+			// Hot set: four loops starting at hotBase.
+			span := g.spans[(hotBase+int(g.next()%4))%len(g.spans)]
+			pc = span.Start + isa.Addr(g.next()%uint64(span.NumInstrs()))*isa.InstrBytes
+		case r < 95:
+			// Warm tail: any loop.
+			span := g.spans[g.next()%uint64(len(g.spans))]
+			pc = span.Start + isa.Addr(g.next()%uint64(span.NumInstrs()))*isa.InstrBytes
+		default:
+			// Straight-line straggler between loops.
+			pc = g.spans[g.next()%uint64(len(g.spans))].End + isa.InstrBytes
+		}
+		g.samples[s] = hpm.Sample{PC: pc, Cycle: g.cycle, Instrs: 8 + g.next()%8, DCMisses: g.next() % 3}
+	}
+	return &hpm.Overflow{Seq: i, Cycle: g.cycle, Samples: g.samples}
+}
+
+// monitorPipeline builds a region-monitor-only pipeline over prog with
+// every loop span pre-registered as a region.
+func monitorPipeline(prog *isa.Program, spans []isa.LoopSpan, kind region.IndexKind) (*pipeline.Pipeline, error) {
+	rcfg := region.DefaultConfig()
+	rcfg.Index = kind
+	rmon, err := region.NewMonitor(prog, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range spans {
+		if _, err := rmon.AddRegion(s.Start, s.End); err != nil {
+			return nil, err
+		}
+	}
+	pipe := pipeline.New()
+	pipe.MustRegister(pipeline.NewRegionMonitor(rmon))
+	return pipe, nil
+}
+
+// runMonitor drives one (region count, structure) run and returns the
+// whole-run verdict digest plus the timed-section seconds. Warmup
+// intervals (regions formed, scratch sized, snapshots built) are digested
+// but not timed.
+func runMonitor(prog *isa.Program, spans []isa.LoopSpan, kind region.IndexKind, warmup, intervals, samples int) (uint64, float64, error) {
+	pipe, err := monitorPipeline(prog, spans, kind)
+	if err != nil {
+		return 0, 0, err
+	}
+	dig := vhash.New()
+	var hashErr error
+	pipe.AddObserver(func(rep *pipeline.IntervalReport) {
+		if err := dig.Report(rep); err != nil && hashErr == nil {
+			hashErr = err
+		}
+	})
+	g := newGen(1, spans, samples)
+	for i := 0; i < warmup; i++ {
+		pipe.ProcessOverflow(g.interval(i))
+	}
+	t0 := time.Now() //lint:allow determinism -- benchmark harness measures real elapsed time
+	for i := warmup; i < warmup+intervals; i++ {
+		pipe.ProcessOverflow(g.interval(i))
+	}
+	//lint:allow determinism -- benchmark harness measures real elapsed time
+	secs := time.Since(t0).Seconds()
+	if hashErr != nil {
+		return 0, 0, hashErr
+	}
+	return dig.Sum(), secs, nil
+}
+
+// runFleet drives a region-monitor-only ingest fleet and returns the
+// per-stream digests and elapsed seconds.
+func runFleet(prog *isa.Program, spans []isa.LoopSpan, kind region.IndexKind, streams, shards, intervals, samples int) ([]uint64, float64, error) {
+	f, err := ingest.NewFleet(streams, ingest.Config{
+		Shards:     shards,
+		MaxSamples: samples,
+		Build: func(stream int) (*pipeline.Pipeline, error) {
+			return monitorPipeline(prog, spans, kind)
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	gens := make([]*gen, streams)
+	for s := range gens {
+		gens[s] = newGen(1+uint64(s)*0x9e3779b97f4a7c15, spans, samples)
+	}
+	t0 := time.Now() //lint:allow determinism -- benchmark harness measures real elapsed time
+	for i := 0; i < intervals; i++ {
+		for s := range gens {
+			f.PushWait(s, gens[s].interval(i))
+		}
+	}
+	f.Drain()
+	//lint:allow determinism -- benchmark harness measures real elapsed time
+	secs := time.Since(t0).Seconds()
+	digs := make([]uint64, streams)
+	for s := range digs {
+		info, err := f.StreamInfo(s)
+		if err != nil {
+			return nil, 0, err
+		}
+		digs[s] = info.Digest
+	}
+	if err := f.Close(); err != nil {
+		return nil, 0, err
+	}
+	return digs, secs, nil
+}
+
+func buildReport(intervals, samples int, scale string) (*report, error) {
+	var rep report
+	rep.Workload.SamplesPerInterval = samples
+	rep.Workload.Intervals = intervals
+	rep.Workload.Warmup = intervals / 10
+	rep.Scale = scale
+	rep.Machine.GOOS = runtime.GOOS
+	rep.Machine.GOARCH = runtime.GOARCH
+	rep.Machine.CPUs = runtime.NumCPU()
+	rep.DigestsIdentical = true
+	warmup := rep.Workload.Warmup
+
+	for _, regions := range []int{4, 64, 512} {
+		prog, spans, err := buildProgram(regions)
+		if err != nil {
+			return nil, err
+		}
+		g := grid{Regions: regions}
+		var ref uint64
+		perKind := map[string]float64{}
+		for _, k := range indexKinds {
+			dig, secs, err := runMonitor(prog, spans, k.kind, warmup, intervals, samples)
+			if err != nil {
+				return nil, fmt.Errorf("%d regions, %s: %w", regions, k.name, err)
+			}
+			if k.name == "list" {
+				ref = dig
+			} else if dig != ref {
+				rep.DigestsIdentical = false
+			}
+			perKind[k.name] = secs
+			g.Runs = append(g.Runs, kindRun{
+				Index:         k.name,
+				Seconds:       secs,
+				NsPerInterval: secs * 1e9 / float64(intervals),
+				SamplesPerSec: float64(intervals) * float64(samples) / secs,
+			})
+		}
+		g.EpochSpeedupList = perKind["list"] / perKind["epoch"]
+		g.EpochSpeedupTree = perKind["tree"] / perKind["epoch"]
+		rep.Grids = append(rep.Grids, g)
+	}
+
+	// Fleet delta: end-to-end ingest throughput, epoch vs list, at the
+	// mid-size region count.
+	const fleetStreams, fleetShards, fleetRegions = 8, 4, 64
+	fleetIntervals := intervals / 2
+	if fleetIntervals < 50 {
+		fleetIntervals = 50
+	}
+	prog, spans, err := buildProgram(fleetRegions)
+	if err != nil {
+		return nil, err
+	}
+	listDigs, listSecs, err := runFleet(prog, spans, region.IndexList, fleetStreams, fleetShards, fleetIntervals, samples)
+	if err != nil {
+		return nil, fmt.Errorf("fleet list: %w", err)
+	}
+	epochDigs, epochSecs, err := runFleet(prog, spans, region.IndexEpoch, fleetStreams, fleetShards, fleetIntervals, samples)
+	if err != nil {
+		return nil, fmt.Errorf("fleet epoch: %w", err)
+	}
+	for s := range listDigs {
+		if listDigs[s] != epochDigs[s] {
+			rep.DigestsIdentical = false
+		}
+	}
+	total := float64(fleetStreams) * float64(fleetIntervals)
+	rep.Fleet = &fleetResult{
+		Streams:         fleetStreams,
+		Shards:          fleetShards,
+		Intervals:       fleetIntervals,
+		Regions:         fleetRegions,
+		ListIntervalSec: total / listSecs,
+		EpochIntervalSc: total / epochSecs,
+		EpochSpeedup:    listSecs / epochSecs,
+	}
+	return &rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchregion:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+// TestBuildReportSmoke runs the whole harness in-process at tiny scale:
+// the three structures must produce identical verdict digests on the
+// single-monitor grids and across the fleet, and every timing field must
+// be populated.
+func TestBuildReportSmoke(t *testing.T) {
+	rep, err := buildReport(100, 256, "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DigestsIdentical {
+		t.Fatal("verdict digests differ across distribution structures")
+	}
+	if len(rep.Grids) != 3 {
+		t.Fatalf("grids = %d; want 3", len(rep.Grids))
+	}
+	for _, g := range rep.Grids {
+		if len(g.Runs) != 3 {
+			t.Fatalf("%d regions: runs = %d; want 3", g.Regions, len(g.Runs))
+		}
+		for _, r := range g.Runs {
+			if r.NsPerInterval <= 0 || r.SamplesPerSec <= 0 {
+				t.Errorf("%d regions %s: empty timing %+v", g.Regions, r.Index, r)
+			}
+		}
+		if g.EpochSpeedupList <= 0 || g.EpochSpeedupTree <= 0 {
+			t.Errorf("%d regions: speedups not populated: %+v", g.Regions, g)
+		}
+	}
+	if rep.Fleet == nil || rep.Fleet.EpochSpeedup <= 0 {
+		t.Errorf("fleet section not populated: %+v", rep.Fleet)
+	}
+}
+
+// TestGenDeterminism pins the workload generator: two generators with the
+// same seed emit identical intervals (the digest comparison depends on
+// it).
+func TestGenDeterminism(t *testing.T) {
+	_, spans, err := buildProgram(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := newGen(7, spans, 64), newGen(7, spans, 64)
+	for i := 0; i < 20; i++ {
+		ova, ovb := a.interval(i), b.interval(i)
+		for s := range ova.Samples {
+			if ova.Samples[s] != ovb.Samples[s] {
+				t.Fatalf("interval %d sample %d diverges: %+v vs %+v", i, s, ova.Samples[s], ovb.Samples[s])
+			}
+		}
+	}
+}

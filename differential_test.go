@@ -1,0 +1,120 @@
+package regionmon
+
+// Differential tests for the sample-distribution paths: the linear list,
+// the interval tree and the count-compressed epoch batch must be
+// interchangeable — not statistically similar, byte-identical. Each run
+// folds every interval's full report (all detectors, every verdict field,
+// bit-exact floats) into a vhash digest; equal digests prove the verdict
+// streams are equal.
+
+import (
+	"testing"
+
+	"regionmon/internal/vhash"
+)
+
+// indexKinds enumerates the three distribution paths under their
+// human-readable names.
+var indexKinds = []struct {
+	name string
+	kind RegionIndexKind
+}{
+	{"list", RegionIndexList},
+	{"tree", RegionIndexTree},
+	{"epoch", RegionIndexEpoch},
+}
+
+// digestRun drives one benchmark through the full system under mutate's
+// region configuration and returns the verdict-stream digest.
+func digestRun(t *testing.T, name string, scale float64, mutate func(*RegionConfig)) uint64 {
+	t.Helper()
+	bench, err := LoadBenchmark(name, scale)
+	if err != nil {
+		t.Fatalf("LoadBenchmark(%s): %v", name, err)
+	}
+	rcfg := DefaultRegionConfig()
+	if mutate != nil {
+		mutate(&rcfg)
+	}
+	sys, err := NewSystem(bench.Prog, bench.Sched, SystemConfig{
+		Sampling: SamplingConfig{Period: 200, BufferSize: 256, JitterFrac: 0.1},
+		Region:   &rcfg,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem(%s): %v", name, err)
+	}
+	dig := vhash.New()
+	var hashErr error
+	sys.AddObserver(func(rep *PipelineReport) {
+		if err := dig.Report(rep); err != nil && hashErr == nil {
+			hashErr = err
+		}
+	})
+	stats := sys.Run()
+	if hashErr != nil {
+		t.Fatalf("digest(%s): %v", name, hashErr)
+	}
+	if stats.Intervals == 0 {
+		t.Fatalf("%s drove no intervals", name)
+	}
+	return dig.Sum()
+}
+
+// checkKindsAgree asserts all three index kinds produce the same digest
+// for one benchmark + configuration.
+func checkKindsAgree(t *testing.T, bench string, scale float64, mutate func(*RegionConfig)) {
+	t.Helper()
+	digests := make(map[string]uint64, len(indexKinds))
+	for _, k := range indexKinds {
+		k := k
+		digests[k.name] = digestRun(t, bench, scale, func(c *RegionConfig) {
+			if mutate != nil {
+				mutate(c)
+			}
+			c.Index = k.kind
+		})
+	}
+	want := digests["list"]
+	for _, k := range indexKinds[1:] {
+		if digests[k.name] != want {
+			t.Errorf("%s: %s digest %016x != list digest %016x", bench, k.name, digests[k.name], want)
+		}
+	}
+}
+
+// TestDifferentialIndexPathsSuite drives the whole synthetic benchmark
+// suite through all three distribution paths and asserts byte-identical
+// verdict streams. Short mode keeps the three benchmarks that stress the
+// distribution hardest (many regions, persistent UCR, era drift).
+func TestDifferentialIndexPathsSuite(t *testing.T) {
+	names := BenchmarkNames()
+	if testing.Short() {
+		names = []string{"176.gcc", "254.gap", "181.mcf"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			checkKindsAgree(t, name, 0.002, nil)
+		})
+	}
+}
+
+// TestDifferentialFormationHeavy lowers the formation bar until region
+// formation fires constantly — the cold-event storm that rebuilds the
+// epoch snapshot most often.
+func TestDifferentialFormationHeavy(t *testing.T) {
+	checkKindsAgree(t, "176.gcc", 0.002, func(c *RegionConfig) {
+		c.UCRThreshold = 0.05
+		c.MinRegionSamples = 4
+	})
+}
+
+// TestDifferentialPruneHeavy combines a tight region cap with aggressive
+// idle pruning so the region set churns continuously: formation and
+// removal both invalidate the epoch between most intervals.
+func TestDifferentialPruneHeavy(t *testing.T) {
+	checkKindsAgree(t, "181.mcf", 0.002, func(c *RegionConfig) {
+		c.PruneAfter = 2
+		c.MaxRegions = 12
+	})
+}

@@ -1,14 +1,19 @@
-// Package interval provides the two sample-to-region distribution
-// structures the paper compares in Section 3.2.3: a simple linear list
-// (O(n) per sample) and an augmented red-black interval tree in the style
-// of CLRS chapter 14 (O(log n + k) per sample, where k is the number of
-// regions stabbed — regions may overlap, e.g. nested loops, and a sample
-// falling in several regions increments all of them).
+// Package interval provides the sample-to-region distribution structures
+// behind region monitoring. List and Tree are the two the paper compares
+// in Section 3.2.3: a simple linear list (O(n) per sample) and an
+// augmented red-black interval tree in the style of CLRS chapter 14
+// (O(log n + k) per sample, where k is the number of regions stabbed —
+// regions may overlap, e.g. nested loops, and a sample falling in several
+// regions increments all of them). Epoch goes past the paper: an immutable
+// flat segmentation of the current region set, rebuilt only when the set
+// changes, answering stabs with one binary search and a contiguous slice
+// read (see Epoch).
 //
 // Region monitoring distributes every program-counter sample in the buffer
 // across the monitored regions on each buffer overflow; with hundreds of
 // regions (gcc, crafty, fma3d, parser, bzip) this distribution dominates
-// monitoring cost, which is why the paper proposes the tree.
+// monitoring cost, which is why the paper proposes the tree and this
+// reproduction adds the count-compressed batch path over Epoch.
 package interval
 
 // Index is a dynamic set of half-open address ranges [Start, End) with

@@ -211,7 +211,11 @@ func TestStabVisitsEachRegionOncePerPoint(t *testing.T) {
 	// Nested loops: outer contains inner; a point in the inner loop must
 	// visit both exactly once (the paper increments all overlapping
 	// regions for such samples).
-	for _, mk := range []func() Index{func() Index { return NewList() }, func() Index { return NewTree() }} {
+	for _, mk := range []func() Index{
+		func() Index { return NewList() },
+		func() Index { return NewTree() },
+		func() Index { return NewEpoch() },
+	} {
 		ix := mk()
 		ix.Insert(0, 100, 400) // outer
 		ix.Insert(1, 200, 300) // inner
@@ -223,12 +227,15 @@ func TestStabVisitsEachRegionOncePerPoint(t *testing.T) {
 	}
 }
 
-func BenchmarkStabList16(b *testing.B)   { benchStab(b, NewList(), 16) }
-func BenchmarkStabTree16(b *testing.B)   { benchStab(b, NewTree(), 16) }
-func BenchmarkStabList256(b *testing.B)  { benchStab(b, NewList(), 256) }
-func BenchmarkStabTree256(b *testing.B)  { benchStab(b, NewTree(), 256) }
-func BenchmarkStabList1024(b *testing.B) { benchStab(b, NewList(), 1024) }
-func BenchmarkStabTree1024(b *testing.B) { benchStab(b, NewTree(), 1024) }
+func BenchmarkStabList16(b *testing.B)    { benchStab(b, NewList(), 16) }
+func BenchmarkStabTree16(b *testing.B)    { benchStab(b, NewTree(), 16) }
+func BenchmarkStabEpoch16(b *testing.B)   { benchStab(b, NewEpoch(), 16) }
+func BenchmarkStabList256(b *testing.B)   { benchStab(b, NewList(), 256) }
+func BenchmarkStabTree256(b *testing.B)   { benchStab(b, NewTree(), 256) }
+func BenchmarkStabEpoch256(b *testing.B)  { benchStab(b, NewEpoch(), 256) }
+func BenchmarkStabList1024(b *testing.B)  { benchStab(b, NewList(), 1024) }
+func BenchmarkStabTree1024(b *testing.B)  { benchStab(b, NewTree(), 1024) }
+func BenchmarkStabEpoch1024(b *testing.B) { benchStab(b, NewEpoch(), 1024) }
 
 func benchStab(b *testing.B, ix Index, n int) {
 	rng := rand.New(rand.NewPCG(42, uint64(n)))

@@ -84,7 +84,7 @@ func TestSparseGuardInvariants(t *testing.T) {
 		t.Errorf("Samples = %d; want 4", v.Samples)
 	}
 	// The histogram was zeroed exactly once and stays zeroed.
-	if h := m.Regions()[0].Histogram(); h[0] != 0 {
+	if h := m.Regions()[0].AppendHistogram(nil); h[0] != 0 {
 		t.Errorf("sparse samples leaked into histogram: %v", h)
 	}
 

@@ -3,8 +3,9 @@
 // detection. On every sample-buffer overflow it
 //
 //  1. distributes the buffered PC samples across the monitored regions
-//     (using either a linear region list or an interval tree — the paper's
-//     Section 3.2.3 cost comparison), incrementing per-instruction
+//     (using a linear region list, an interval tree — the paper's
+//     Section 3.2.3 cost comparison — or, by default, a count-compressed
+//     batch over a flat epoch index), incrementing per-instruction
 //     histograms; a sample falling in several overlapping regions (nested
 //     loops) increments all of them;
 //  2. attributes samples outside every monitored region to the
@@ -49,8 +50,12 @@ type Config struct {
 	MinObserveSamples int
 	// Detector configures each region's local phase detector.
 	Detector lpd.Config
-	// UseIntervalTree selects the interval-tree distribution structure
-	// instead of the linear list.
+	// Index selects the sample-to-region distribution structure. The
+	// zero value is IndexEpoch: the count-compressed batch path.
+	Index IndexKind
+	// UseIntervalTree is the legacy interval-tree switch, kept for
+	// configurations that predate Index. It applies only when Index is
+	// left at its zero value, where true selects IndexTree.
 	UseIntervalTree bool
 	// PruneAfter removes a region after this many consecutive intervals
 	// without samples (the paper's proposed region pruning); 0 disables.
@@ -75,6 +80,33 @@ type Config struct {
 	// the related-work hardware schemes; an unbounded default would be a
 	// slow leak on the ROADMAP's billions-of-intervals runs.
 	UCRHistoryCap int
+}
+
+// IndexKind selects the structure that distributes buffered samples
+// across the monitored regions (the paper's Section 3.2.3 cost knob).
+type IndexKind int
+
+const (
+	// IndexEpoch (the default) distributes through a flat epoch index: an
+	// immutable sorted-segment snapshot of the region set, rebuilt only
+	// when the set changes, stabbed once per distinct PC over the
+	// count-compressed buffer.
+	IndexEpoch IndexKind = iota
+	// IndexList is the paper's baseline linear region list, stabbed once
+	// per sample.
+	IndexList
+	// IndexTree is the paper's augmented red-black interval tree, stabbed
+	// once per sample.
+	IndexTree
+)
+
+// indexKind resolves the configured distribution structure, honoring the
+// legacy UseIntervalTree switch when Index is left at its zero value.
+func (c *Config) indexKind() IndexKind {
+	if c.Index == IndexEpoch && c.UseIntervalTree {
+		return IndexTree
+	}
+	return c.Index
 }
 
 // DefaultUCRHistoryCap is the UCR history window used when
@@ -118,6 +150,9 @@ func (c *Config) Validate() error {
 	}
 	if c.UCRHistoryCap < RetainAllHistory {
 		return fmt.Errorf("region: UCR history cap %d < %d", c.UCRHistoryCap, RetainAllHistory)
+	}
+	if c.Index < IndexEpoch || c.Index > IndexTree {
+		return fmt.Errorf("region: unknown index kind %d", c.Index)
 	}
 	return c.Detector.Validate()
 }
@@ -185,12 +220,17 @@ func (r *Region) GranularityCycles(prog *isa.Program, cost func(isa.Kind) uint64
 	return total
 }
 
+// AppendHistogram appends the region's current-interval histogram to dst
+// and returns the extended slice. It is the allocation-free form of
+// Histogram for callers that reuse a buffer across intervals.
+func (r *Region) AppendHistogram(dst []int64) []int64 {
+	return append(dst, r.curr...)
+}
+
 // Histogram returns a copy of the region's current-interval histogram
-// (inspection helper).
+// (inspection helper; see AppendHistogram for the reusable-buffer form).
 func (r *Region) Histogram() []int64 {
-	out := make([]int64, len(r.curr))
-	copy(out, r.curr)
-	return out
+	return r.AppendHistogram(make([]int64, 0, len(r.curr)))
 }
 
 // RegionVerdict pairs a region with its verdict for one interval.
@@ -254,20 +294,30 @@ type Monitor struct {
 
 	regions map[int]*Region
 	index   interval.Index
-	nextID  int
-	seq     int
+	// epoch is non-nil exactly when index is the epoch snapshot; its
+	// closure-free Lookup enables the count-compressed batch path.
+	epoch *interval.Epoch
+	// sortedIDs holds the monitored region IDs ascending, maintained
+	// incrementally (AddRegion assigns monotonically increasing IDs, so
+	// insertion is an append; removal copies down in place). It replaces
+	// the per-interval collect-and-sort over the regions map.
+	sortedIDs []int
+	nextID    int
+	seq       int
 
 	ucr       *stats.Series
 	loopCount map[*isa.Loop]int // scratch for formation
 
 	// Per-interval scratch, reused across ProcessOverflow calls so the
 	// monitoring hot path stays allocation-free in steady state.
-	ucrScratch     []isa.Addr      // UCR PCs of the current interval
-	idScratch      []int           // sorted region IDs
-	verdictScratch []RegionVerdict // backing array for Report.Verdicts
-	stabPC         isa.Addr        // current sample PC for stabVisit
-	stabHit        bool            // current sample landed in a region
-	stabVisit      func(id int)    // distribution callback (built once)
+	runs           *stats.RunScratch // count-compression scratch (epoch path)
+	keyScratch     []uint64          // sample PCs as radix keys (epoch path)
+	ucrScratch     []isa.Addr        // UCR PCs of the current interval
+	idScratch      []int             // sorted region IDs
+	verdictScratch []RegionVerdict   // backing array for Report.Verdicts
+	stabPC         isa.Addr          // current sample PC for stabVisit
+	stabHit        bool              // current sample landed in a region
+	stabVisit      func(id int)      // distribution callback (built once)
 }
 
 // NewMonitor returns a monitor for prog.
@@ -282,17 +332,27 @@ func NewMonitor(prog *isa.Program, cfg Config) (*Monitor, error) {
 		return nil, err
 	}
 	var ix interval.Index
-	if cfg.UseIntervalTree {
+	var epoch *interval.Epoch
+	switch cfg.indexKind() {
+	case IndexTree:
 		ix = interval.NewTree()
-	} else {
+	case IndexList:
 		ix = interval.NewList()
+	default:
+		epoch = interval.NewEpoch()
+		ix = epoch
 	}
 	m := &Monitor{
 		prog:      prog,
 		cfg:       cfg,
 		regions:   make(map[int]*Region),
 		index:     ix,
+		epoch:     epoch,
 		loopCount: make(map[*isa.Loop]int),
+	}
+	if epoch != nil {
+		m.runs = stats.NewRunScratch(hpm.DefaultBufferSize)
+		m.keyScratch = make([]uint64, 0, hpm.DefaultBufferSize)
 	}
 	m.ucr = m.newUCRSeries()
 	// Built once so sample distribution creates no per-sample closures.
@@ -321,11 +381,10 @@ func (m *Monitor) newUCRSeries() *stats.Series {
 
 // Regions returns the monitored regions in ID order.
 func (m *Monitor) Regions() []*Region {
-	out := make([]*Region, 0, len(m.regions))
-	for _, r := range m.regions {
-		out = append(out, r)
+	out := make([]*Region, 0, len(m.sortedIDs))
+	for _, id := range m.sortedIDs {
+		out = append(out, m.regions[id])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -394,6 +453,8 @@ func (m *Monitor) AddRegion(start, end isa.Addr) (*Region, error) {
 	m.nextID++
 	m.regions[r.ID] = r
 	m.index.Insert(r.ID, uint64(start), uint64(end))
+	// IDs are assigned monotonically, so the append keeps sortedIDs sorted.
+	m.sortedIDs = append(m.sortedIDs, r.ID)
 	return r, nil
 }
 
@@ -401,6 +462,17 @@ func (m *Monitor) AddRegion(start, end isa.Addr) (*Region, error) {
 func (m *Monitor) removeRegion(r *Region) {
 	delete(m.regions, r.ID)
 	m.index.Remove(r.ID)
+	ids := m.sortedIDs
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < r.ID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	m.sortedIDs = append(ids[:lo], ids[lo+1:]...)
 }
 
 // ProcessOverflow runs one interval of region monitoring over the
@@ -412,21 +484,15 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 	m.seq = ov.Seq
 
 	// Phase 1: distribute samples. UCR PCs are collected for formation.
-	ucrPCs := m.ucrScratch[:0]
-	for i := range ov.Samples {
-		m.stabPC = ov.Samples[i].PC
-		m.stabHit = false
-		m.index.Stab(uint64(m.stabPC), m.stabVisit)
-		if m.stabHit {
-			rep.MonitoredSamples++
-		} else {
-			rep.UCRSamples++
-			if m.stabPC != 0 {
-				ucrPCs = append(ucrPCs, m.stabPC)
-			} else {
-				rep.IdleSamples++
-			}
-		}
+	// The epoch path count-compresses the buffer first so each distinct PC
+	// is stabbed once; it produces the same counters and histograms as the
+	// per-sample path (formation is insensitive to ucrPCs order, the only
+	// thing that differs).
+	var ucrPCs []isa.Addr
+	if m.epoch != nil {
+		ucrPCs = m.distributeBatched(ov, &rep)
+	} else {
+		ucrPCs = m.distributePerSample(ov, &rep)
 	}
 	m.ucrScratch = ucrPCs
 	if rep.TotalSamples > 0 {
@@ -446,12 +512,9 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 	}
 
 	// Phase 3: local phase detection per region, then reset interval
-	// state and prune cold regions.
-	ids := m.idScratch[:0]
-	for id := range m.regions {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
+	// state and prune cold regions. Pruning mutates sortedIDs mid-loop,
+	// so iterate over a scratch copy.
+	ids := append(m.idScratch[:0], m.sortedIDs...)
 	m.idScratch = ids
 	rep.Verdicts = m.verdictScratch[:0]
 	for _, id := range ids {
@@ -493,6 +556,70 @@ func (m *Monitor) ProcessOverflow(ov *hpm.Overflow) Report {
 	}
 	m.verdictScratch = rep.Verdicts
 	return rep
+}
+
+// distributePerSample stabs the index once per buffered sample (the list
+// and tree paths). It returns the interval's non-idle UCR PCs, backed by
+// monitor scratch.
+func (m *Monitor) distributePerSample(ov *hpm.Overflow, rep *Report) []isa.Addr {
+	ucrPCs := m.ucrScratch[:0]
+	for i := range ov.Samples {
+		m.stabPC = ov.Samples[i].PC
+		m.stabHit = false
+		m.index.Stab(uint64(m.stabPC), m.stabVisit)
+		if m.stabHit {
+			rep.MonitoredSamples++
+		} else {
+			rep.UCRSamples++
+			if m.stabPC != 0 {
+				ucrPCs = append(ucrPCs, m.stabPC)
+			} else {
+				rep.IdleSamples++
+			}
+		}
+	}
+	return ucrPCs
+}
+
+// distributeBatched is the epoch path: the buffer is count-compressed
+// into (distinct PC, count) runs, each run stabs the epoch snapshot once,
+// and histograms advance by the run count. Loopy buffers hold far fewer
+// distinct PCs than samples, so this removes most of the stabbing work.
+// UCR PCs are re-expanded run-by-run so formation sees the same multiset
+// as the per-sample path (sorted rather than in buffer order, which
+// formation is insensitive to).
+func (m *Monitor) distributeBatched(ov *hpm.Overflow, rep *Report) []isa.Addr {
+	keys := m.keyScratch[:0]
+	for i := range ov.Samples {
+		keys = append(keys, uint64(ov.Samples[i].PC))
+	}
+	m.keyScratch = keys
+	pcs, counts := m.runs.Compress(keys)
+
+	ucrPCs := m.ucrScratch[:0]
+	for i, pc := range pcs {
+		c := int(counts[i])
+		ids := m.epoch.Lookup(pc)
+		if len(ids) > 0 {
+			rep.MonitoredSamples += c
+			for _, id := range ids {
+				r := m.regions[id]
+				r.curr[int(isa.Addr(pc)-r.Start)/isa.InstrBytes] += int64(c)
+				r.intervalHits += c
+				r.totalSamples += int64(c)
+			}
+			continue
+		}
+		rep.UCRSamples += c
+		if pc == 0 {
+			rep.IdleSamples += c
+			continue
+		}
+		for ; c > 0; c-- {
+			ucrPCs = append(ucrPCs, isa.Addr(pc))
+		}
+	}
+	return ucrPCs
 }
 
 // formRegions builds loop regions around unmonitored hot samples: each UCR

@@ -292,10 +292,10 @@ func TestAddRegionValidation(t *testing.T) {
 	}
 }
 
-func TestTreeAndListAgree(t *testing.T) {
+func TestIndexPathsAgree(t *testing.T) {
 	prog, l1, l2 := testProgram(t)
-	run := func(useTree bool) []Report {
-		m := newMonitor(t, prog, func(c *Config) { c.UseIntervalTree = useTree })
+	run := func(kind IndexKind) []Report {
+		m := newMonitor(t, prog, func(c *Config) { c.Index = kind })
 		var reps []Report
 		for seq := 0; seq < 6; seq++ {
 			pcs := spanPCs(l1, 5)
@@ -306,18 +306,47 @@ func TestTreeAndListAgree(t *testing.T) {
 		}
 		return reps
 	}
-	a, b := run(false), run(true)
-	for i := range a {
-		if a[i].UCRFraction != b[i].UCRFraction ||
-			a[i].MonitoredSamples != b[i].MonitoredSamples ||
-			len(a[i].Verdicts) != len(b[i].Verdicts) ||
-			len(a[i].NewRegions) != len(b[i].NewRegions) {
-			t.Fatalf("interval %d: list/tree reports diverge:\n%+v\n%+v", i, a[i], b[i])
-		}
-		for j := range a[i].Verdicts {
-			if a[i].Verdicts[j].Verdict != b[i].Verdicts[j].Verdict {
-				t.Fatalf("interval %d verdict %d diverges", i, j)
+	a := run(IndexList)
+	for _, kind := range []IndexKind{IndexTree, IndexEpoch} {
+		b := run(kind)
+		for i := range a {
+			if a[i].UCRFraction != b[i].UCRFraction ||
+				a[i].MonitoredSamples != b[i].MonitoredSamples ||
+				a[i].UCRSamples != b[i].UCRSamples ||
+				a[i].IdleSamples != b[i].IdleSamples ||
+				len(a[i].Verdicts) != len(b[i].Verdicts) ||
+				len(a[i].NewRegions) != len(b[i].NewRegions) {
+				t.Fatalf("interval %d: list/%v reports diverge:\n%+v\n%+v", i, kind, a[i], b[i])
 			}
+			for j := range a[i].Verdicts {
+				if a[i].Verdicts[j].Verdict != b[i].Verdicts[j].Verdict {
+					t.Fatalf("interval %d verdict %d diverges under %v", i, j, kind)
+				}
+				if a[i].Verdicts[j].Samples != b[i].Verdicts[j].Samples {
+					t.Fatalf("interval %d verdict %d samples diverge under %v", i, j, kind)
+				}
+			}
+		}
+	}
+}
+
+// TestLegacyUseIntervalTree pins the back-compat contract: the old boolean
+// still selects the tree when Index is left at its zero value, and is
+// ignored once Index is set explicitly.
+func TestLegacyUseIntervalTree(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want IndexKind
+	}{
+		{Config{}, IndexEpoch},
+		{Config{UseIntervalTree: true}, IndexTree},
+		{Config{Index: IndexList, UseIntervalTree: true}, IndexList},
+		{Config{Index: IndexTree}, IndexTree},
+	}
+	for _, c := range cases {
+		if got := c.cfg.indexKind(); got != c.want {
+			t.Errorf("indexKind(Index=%v, UseIntervalTree=%v) = %v; want %v",
+				c.cfg.Index, c.cfg.UseIntervalTree, got, c.want)
 		}
 	}
 }

@@ -102,6 +102,11 @@ func (m *Monitor) RestoreSnapshot(dec *snap.Decoder) error {
 		if id < 0 || id >= nextID {
 			return fmt.Errorf("region: snapshot region ID %d outside [0, %d)", id, nextID)
 		}
+		// AppendSnapshot encodes regions ascending by ID; the restored
+		// monitor's sorted-ID slice relies on that order.
+		if len(regions) > 0 && id <= regions[len(regions)-1].ID {
+			return fmt.Errorf("region: snapshot region IDs not ascending (%d after %d)", id, regions[len(regions)-1].ID)
+		}
 		n := int(end-start) / isa.InstrBytes
 		if len(curr) != n {
 			return fmt.Errorf("region: snapshot region %d histogram has %d entries for a %d-instruction span", id, len(curr), n)
@@ -141,9 +146,13 @@ func (m *Monitor) RestoreSnapshot(dec *snap.Decoder) error {
 		m.index.Remove(id)
 	}
 	m.regions = make(map[int]*Region, len(regions))
+	m.sortedIDs = m.sortedIDs[:0]
 	for _, r := range regions {
 		m.regions[r.ID] = r
 		m.index.Insert(r.ID, uint64(r.Start), uint64(r.End))
+		// Snapshot regions are encoded ascending by ID, so the rebuilt
+		// slice is sorted by construction.
+		m.sortedIDs = append(m.sortedIDs, r.ID)
 	}
 	return nil
 }

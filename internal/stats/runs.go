@@ -1,0 +1,120 @@
+package stats
+
+// Count compression for sample distribution (the batched hot path of
+// region monitoring). An overflow buffer from loopy code is overwhelmingly
+// made of repeated program counters — a 2032-sample buffer over a few hot
+// loop bodies holds only a few hundred distinct PCs — so distributing
+// (unique PC, count) runs instead of raw samples removes most of the
+// stabbing work. The phase-classification literature leans on the same
+// structure: hardware working-set schemes accumulate signatures from
+// compressed sample streams, not raw ones.
+//
+// RunScratch sorts the buffer with an LSD radix sort (byte digits,
+// constant-digit passes skipped — PC streams share their high bytes, so a
+// full sort is typically 2–3 counting passes) and run-length encodes the
+// result. Everything runs in caller-owned scratch sized once at
+// construction: after the first interval at a given buffer size, Compress
+// performs no allocations.
+
+// RunScratch is construction-time working storage for count-compressing
+// sample buffers. Like the detectors that own one, it is single-owner.
+type RunScratch struct {
+	keys   []uint64
+	tmp    []uint64
+	hist   [256]int32
+	pcs    []uint64
+	counts []int32
+}
+
+// NewRunScratch returns scratch pre-sized for buffers of up to capacity
+// samples; larger buffers grow the scratch on first sight (amortized-cold,
+// never steady-state).
+func NewRunScratch(capacity int) *RunScratch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RunScratch{
+		keys:   make([]uint64, 0, capacity),
+		tmp:    make([]uint64, capacity),
+		pcs:    make([]uint64, 0, capacity),
+		counts: make([]int32, 0, capacity),
+	}
+}
+
+// Compress sorts a copy of src and returns its run-length encoding: the
+// distinct values ascending and, parallel to them, each value's
+// occurrence count. The returned slices alias the scratch — valid until
+// the next Compress call. src itself is not modified.
+func (s *RunScratch) Compress(src []uint64) (pcs []uint64, counts []int32) {
+	n := len(src)
+	if n == 0 {
+		return s.pcs[:0], s.counts[:0]
+	}
+	keys := append(s.keys[:0], src...)
+	s.keys = keys
+	if cap(s.tmp) < n {
+		s.growTmp(n)
+	}
+	tmp := s.tmp[:n]
+
+	// One pass finds the digits that vary at all (PC streams share their
+	// high bytes, so typically only the low 2–3 do); each varying digit
+	// then costs one histogram pass and one counting-sort scatter.
+	var or uint64
+	and := ^uint64(0)
+	for _, k := range keys {
+		or |= k
+		and &= k
+	}
+	diff := or ^ and
+	a, b := keys, tmp
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(8 * pass)
+		if byte(diff>>shift) == 0 {
+			continue // constant digit: every key shares it
+		}
+		h := &s.hist
+		*h = [256]int32{}
+		for _, k := range a {
+			h[byte(k>>shift)]++
+		}
+		sum := int32(0)
+		for d := 0; d < 256; d++ {
+			c := h[d]
+			h[d] = sum
+			sum += c
+		}
+		for _, k := range a {
+			d := byte(k >> shift)
+			b[h[d]] = k
+			h[d]++
+		}
+		a, b = b, a
+	}
+
+	// Run-length encode the sorted keys.
+	pcs, counts = s.pcs[:0], s.counts[:0]
+	cur, c := a[0], int32(1)
+	for _, k := range a[1:] {
+		if k == cur {
+			c++
+			continue
+		}
+		pcs = append(pcs, cur)
+		counts = append(counts, c)
+		cur, c = k, 1
+	}
+	pcs = append(pcs, cur)
+	counts = append(counts, c)
+	s.pcs, s.counts = pcs, counts
+	return pcs, counts
+}
+
+// growTmp resizes the radix ping-pong buffer. It runs only when a buffer
+// larger than every previous one arrives — at most a handful of times per
+// process, never in steady state.
+//
+//lint:allow hotpath -- scratch growth is amortized-cold (fires only when the buffer size exceeds all previous intervals')
+func (s *RunScratch) growTmp(n int) {
+	s.tmp = make([]uint64, n)
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// refRuns is the obvious reference: sort a copy, walk runs.
+func refRuns(src []uint64) (pcs []uint64, counts []int32) {
+	if len(src) == 0 {
+		return nil, nil
+	}
+	c := append([]uint64(nil), src...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	cur, n := c[0], int32(1)
+	for _, k := range c[1:] {
+		if k == cur {
+			n++
+			continue
+		}
+		pcs = append(pcs, cur)
+		counts = append(counts, n)
+		cur, n = k, 1
+	}
+	return append(pcs, cur), append(counts, n)
+}
+
+func checkRuns(t *testing.T, src []uint64) {
+	t.Helper()
+	s := NewRunScratch(len(src))
+	pcs, counts := s.Compress(src)
+	wantPCs, wantCounts := refRuns(src)
+	if len(pcs) != len(wantPCs) {
+		t.Fatalf("Compress returned %d runs; want %d", len(pcs), len(wantPCs))
+	}
+	var total int32
+	for i := range pcs {
+		if pcs[i] != wantPCs[i] || counts[i] != wantCounts[i] {
+			t.Fatalf("run %d = (%d, %d); want (%d, %d)", i, pcs[i], counts[i], wantPCs[i], wantCounts[i])
+		}
+		total += counts[i]
+	}
+	if int(total) != len(src) {
+		t.Fatalf("counts sum to %d; want %d", total, len(src))
+	}
+}
+
+func TestCompressAgainstReference(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{42},
+		{7, 7, 7, 7},
+		{3, 1, 2},
+		{0, 0, 5, 0}, // idle PCs mixed in
+		{1 << 40, 1, 1 << 40, 2, 1},
+		{^uint64(0), 0, ^uint64(0)}, // extreme digits
+	}
+	for _, src := range cases {
+		checkRuns(t, src)
+	}
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(3000)
+		src := make([]uint64, n)
+		base := rng.Uint64() >> (rng.UintN(40) + 8) // vary shared high bytes
+		for i := range src {
+			// Loopy shape: few distinct values, heavy repetition.
+			src[i] = base + rng.Uint64N(1+uint64(rng.IntN(512)))*4
+		}
+		checkRuns(t, src)
+	}
+}
+
+func TestCompressDoesNotModifySource(t *testing.T) {
+	src := []uint64{5, 3, 5, 1}
+	orig := append([]uint64(nil), src...)
+	NewRunScratch(len(src)).Compress(src)
+	for i := range src {
+		if src[i] != orig[i] {
+			t.Fatalf("Compress mutated src: %v; want %v", src, orig)
+		}
+	}
+}
+
+func TestCompressReusesScratch(t *testing.T) {
+	s := NewRunScratch(64)
+	// First call at a larger size grows the scratch; subsequent calls at
+	// that size must be allocation-free regardless of content.
+	rng := rand.New(rand.NewPCG(3, 9))
+	buf := make([]uint64, 2032)
+	fill := func() {
+		for i := range buf {
+			buf[i] = 0x10000 + rng.Uint64N(600)*4
+		}
+	}
+	fill()
+	s.Compress(buf)
+	avg := testing.AllocsPerRun(100, func() {
+		fill()
+		s.Compress(buf)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Compress allocates %.2f allocs/run; want 0", avg)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	buf := make([]uint64, 2032)
+	for i := range buf {
+		buf[i] = 0x10000 + rng.Uint64N(400)*4
+	}
+	s := NewRunScratch(len(buf))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Compress(buf)
+	}
+}
