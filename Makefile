@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchingest ingest-smoke benchregion region-smoke soak soak-short check
+.PHONY: all build vet lint test race bench benchingest ingest-smoke ingest-batch-smoke benchregion region-smoke soak soak-short check
 
 all: check
 
@@ -33,16 +33,24 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkObserve|BenchmarkPearson' -benchtime 1x -benchmem ./internal/lpd/ ./internal/stats/
 
 # Regenerate the committed ingest throughput baseline: streams/sec through
-# full detector stacks at 1/4/16/64 shards, with cross-shard digest
-# verification before any number is reported.
+# full detector stacks at 1/4/16/64 shards, per-push vs batched, over a
+# detector-bound and a transport-bound workload (median of 3 reps each),
+# with cross-run digest verification before any number is reported.
 benchingest:
 	$(GO) run ./cmd/benchingest > BENCH_ingest.json
 
 # Short multi-shard ingest smoke for `make check`/CI: 64 streams x 5k
-# intervals at every shard count, failing unless all per-stream verdict
-# digests agree across topologies (throughput JSON discarded).
+# intervals through the per-item push path at every shard count, failing
+# unless all per-stream verdict digests agree across topologies
+# (throughput JSON discarded).
 ingest-smoke:
-	$(GO) run ./cmd/benchingest -intervals 5000 > /dev/null
+	$(GO) run ./cmd/benchingest -mode perpush -reps 1 -intervals 5000 > /dev/null
+
+# Batched-path twin of ingest-smoke: the same 64-stream workload driven
+# through PushBatchWait (16-interval batches) at every shard count, with
+# the same cross-topology digest gate.
+ingest-batch-smoke:
+	$(GO) run ./cmd/benchingest -mode batched -reps 1 -intervals 5000 > /dev/null
 
 # Regenerate the committed sample-distribution baseline: ns/interval and
 # samples/sec for list vs tree vs batched epoch at 4/64/512 regions, plus
@@ -69,4 +77,4 @@ soak:
 soak-short:
 	$(GO) run ./cmd/soak -intervals 60000
 
-check: vet build lint test race bench ingest-smoke region-smoke soak-short
+check: vet build lint test race bench ingest-smoke ingest-batch-smoke region-smoke soak-short

@@ -517,9 +517,11 @@ func BenchmarkAblationRegionPruning(b *testing.B) {
 				// count (each interval's distribution and detection cost
 				// scales with it), not the final count.
 				var regionIntervals, intervals int
-				sys.Observe(func(rep IntervalReport) {
+				sys.AddObserver(func(rep *PipelineReport) {
 					intervals++
-					regionIntervals += len(rep.Regions.Verdicts)
+					if v := rep.Verdict(DetectorRegions); v != nil {
+						regionIntervals += len(v.Payload.(*RegionReport).Verdicts)
+					}
 				})
 				sys.Run()
 				if intervals > 0 {

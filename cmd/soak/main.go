@@ -15,9 +15,10 @@
 //
 // After the single-stream comparison it repeats the exercise at fleet
 // scale: -streams independent stacks behind an ingest.Fleet, where the
-// reference run uses one shard and the kill/restore run uses -shards —
-// so the comparison also proves verdict streams are independent of the
-// worker topology.
+// reference run uses one shard with per-item pushes and the kill/restore
+// run uses -shards with batched pushes (-batch intervals per PushBatchWait
+// call) — so the comparison also proves verdict streams are independent of
+// both the worker topology and the per-item-vs-batched transport.
 //
 // Usage:
 //
@@ -45,6 +46,7 @@ func main() {
 		heapMiB   = flag.Int("max-heap-growth", 4, "allowed post-warmup heap growth in MiB")
 		streams   = flag.Int("streams", 8, "fleet stage stream count (0 skips the fleet stage)")
 		shards    = flag.Int("shards", 4, "fleet stage worker count for the kill/restore run")
+		batch     = flag.Int("batch", 16, "fleet stage intervals per PushBatchWait call in the kill/restore run")
 		fleetIvs  = flag.Int("fleet-intervals", 0, "fleet stage intervals per stream (0 = intervals/20)")
 	)
 	flag.Parse()
@@ -91,19 +93,21 @@ func main() {
 			Streams:            *streams,
 			Intervals:          ivs,
 			Shards:             1,
+			Batch:              1, // reference drives the per-item push path
 			SamplesPerInterval: *samples,
 			Seed:               *seed,
 			MaxHeapGrowth:      uint64(*heapMiB+4*(*streams)) << 20,
 		}
-		fmt.Fprintf(os.Stderr, "soak: fleet reference run, %d streams x %d intervals, 1 shard\n", *streams, ivs)
+		fmt.Fprintf(os.Stderr, "soak: fleet reference run, %d streams x %d intervals, 1 shard, per-item pushes\n", *streams, ivs)
 		fref, err := soak.RunFleet(fcfg)
 		if err != nil {
 			fail("fleet reference run", err)
 		}
 		fcfg.Shards = *shards
+		fcfg.Batch = *batch
 		fcfg.RestoreEvery = ivs / (*restores + 1)
-		fmt.Fprintf(os.Stderr, "soak: fleet kill/restore run, %d shards, checkpoint every %d rounds\n",
-			fcfg.Shards, fcfg.RestoreEvery)
+		fmt.Fprintf(os.Stderr, "soak: fleet kill/restore run, %d shards, %d-interval batches, checkpoint every %d rounds\n",
+			fcfg.Shards, fcfg.Batch, fcfg.RestoreEvery)
 		fkr, err := soak.RunFleet(fcfg)
 		if err != nil {
 			fail("fleet kill/restore run", err)
@@ -114,8 +118,8 @@ func main() {
 					s, fkr.Digests[s], fref.Digests[s]))
 			}
 		}
-		fmt.Fprintf(os.Stderr, "soak: fleet PASS — %d restores across topologies 1→%d shards, digest %#x (%d snapshot bytes)\n",
-			fkr.Restores, fcfg.Shards, fkr.Digest, fkr.SnapshotBytes)
+		fmt.Fprintf(os.Stderr, "soak: fleet PASS — %d restores across topologies 1→%d shards and per-item→%d-batch pushes, digest %#x (%d snapshot bytes)\n",
+			fkr.Restores, fcfg.Shards, fcfg.Batch, fkr.Digest, fkr.SnapshotBytes)
 	}
 
 	elapsed := time.Since(start).Round(time.Millisecond) //lint:allow determinism -- harness timing on stderr, not in results

@@ -6,9 +6,12 @@ import (
 
 // Multi-stream ingestion (internal/ingest): one Fleet serves N
 // independent monitored streams — one detector Pipeline each — sharded
-// across a fixed worker pool with bounded lock-free queues. Per-stream
-// results are byte-identical regardless of shard count, and the whole
-// fleet checkpoints with Snapshot/Restore. See DESIGN.md §9.
+// across a fixed worker pool with bounded lock-free queues. The push path
+// is batch-first: PushBatch/PushBatchWait move a run of intervals with
+// one ring reservation and one worker wake, and the per-item Push /
+// PushWait are thin wrappers over them. Per-stream results are
+// byte-identical regardless of shard count or batching, and the whole
+// fleet checkpoints with Snapshot/Restore. See DESIGN.md §9 and §11.
 type (
 	// Fleet is the sharded multi-stream serving layer.
 	Fleet = ingest.Fleet

@@ -76,6 +76,47 @@ func runFacadeFleet(t *testing.T, shards, intervals int) ([]uint64, []byte) {
 	return digs, snap
 }
 
+// TestFacadeFleetBatch drives the batched push path through façade types
+// only and checks it lands on the per-item path's digests.
+func TestFacadeFleetBatch(t *testing.T) {
+	const streams, intervals, batch = 4, 90, 6
+	ref, _ := runFacadeFleet(t, 1, intervals)
+
+	f, err := NewFleet(streams, FleetConfig{Shards: 3, MaxSamples: 16, Build: fleetBuild})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bufs := make([]*Overflow, batch)
+	backing := make([]Sample, batch*16)
+	for k := range bufs {
+		bufs[k] = &Overflow{Samples: backing[k*16 : (k+1)*16]}
+	}
+	for base := 0; base < intervals; base += batch {
+		n := batch
+		if base+n > intervals {
+			n = intervals - base
+		}
+		for s := 0; s < streams; s++ {
+			for k := 0; k < n; k++ {
+				ov := fleetOverflow(bufs[k].Samples, s, base+k)
+				bufs[k].Seq, bufs[k].Cycle = ov.Seq, ov.Cycle
+			}
+			f.PushBatchWait(s, bufs[:n])
+		}
+	}
+	f.Drain()
+	for s := 0; s < streams; s++ {
+		info, err := f.StreamInfo(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Digest != ref[s] {
+			t.Errorf("stream %d batched digest %#x != per-item %#x", s, info.Digest, ref[s])
+		}
+	}
+}
+
 func TestFacadeFleet(t *testing.T) {
 	var build StreamBuildFunc = fleetBuild
 	_ = build

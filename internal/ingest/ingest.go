@@ -11,6 +11,19 @@
 // goroutine and consumed by the shard worker, so the steady-state path
 // never allocates and never takes a lock.
 //
+// The sample path is batch-first end to end. PushBatch/PushBatchWait move
+// a run of sampling intervals for one stream with a single ring
+// reservation and a single consumer wake, instead of paying
+// reserve/publish/wake per interval; Push/PushWait are thin per-item
+// wrappers over the same core. Symmetrically, the shard worker drains a
+// contiguous run of queued slots per wake and hands each same-stream
+// sub-run to its pipeline's ObserveBatch in one call. Batching is purely
+// a transport optimization: intervals reach every stream in push order
+// whatever mix of per-item and batched pushes produced them, so verdict
+// streams (and their digests) are byte-identical across the two paths —
+// TestFleetBatchDifferential pins that, including mixed interleavings and
+// partial-batch drops.
+//
 // Because every stream maps to exactly one shard and a shard's ring is
 // FIFO, each stream observes its intervals in exactly the order they were
 // pushed — so per-stream results (verdict streams, digests, snapshots) are
@@ -18,11 +31,12 @@
 // is purely a throughput knob, never a results knob; TestFleetDeterminism
 // pins that with cross-worker-count digest equality under -race.
 //
-// Backpressure is explicit, not implicit: Push never blocks — a full shard
-// ring counts a drop against the stream and returns false, and Stats
+// Backpressure is explicit, not implicit: Push and PushBatch never block —
+// a full shard ring counts a drop against the stream (a partial batch is
+// always an accepted prefix, with the dropped suffix counted), and Stats
 // exposes accepted/dropped/queue-depth per shard so operators see
-// saturation rather than discover it as tail latency. PushWait is the
-// lossless alternative for offline replay.
+// saturation rather than discover it as tail latency. PushWait and
+// PushBatchWait are the lossless alternatives for offline replay.
 //
 // Control operations (snapshot, restore, stream info, drain barriers) ride
 // the same rings in-band, so they are FIFO-ordered with the batches around
@@ -125,7 +139,8 @@ type Fleet struct {
 	accepted   []uint64
 	dropped    []uint64
 	maxSamples int
-	ctlWG      sync.WaitGroup // reused for every control round-trip
+	one        [1]*hpm.Overflow // scratch backing the per-item Push wrappers
+	ctlWG      sync.WaitGroup   // reused for every control round-trip
 	closed     bool
 }
 
@@ -243,48 +258,88 @@ func (f *Fleet) NumShards() int { return len(f.shards) }
 // ShardOf returns the shard a stream is pinned to.
 func (f *Fleet) ShardOf(stream int) int { return f.shardOf[stream] }
 
+// PushBatch offers a run of sampling intervals to one stream without
+// blocking, amortizing the ring cost the per-item API pays per interval:
+// one multi-slot reservation, one tail advance and one consumer wake per
+// batch (two when the run spans the ring's wrap point). Intervals are
+// enqueued in slice order, and every interval's samples are copied into a
+// preallocated ring slot, so the caller may reuse all of the batch's
+// backing arrays immediately and the steady-state path performs no
+// allocation.
+//
+// When the shard ring fills mid-batch, the remainder is dropped and
+// counted against the stream: an accepted partial batch is always a
+// prefix, never a subsequence, so stream order is preserved. It returns
+// the number of intervals accepted.
+//
+// PushBatch panics on a closed fleet, an out-of-range stream, or any
+// interval larger than Config.MaxSamples: all three are caller bugs, not
+// load.
+func (f *Fleet) PushBatch(stream int, ovs []*hpm.Overflow) int {
+	f.checkPush(stream, ovs)
+	sh := f.shards[f.shardOf[stream]]
+	pushed := 0
+	for pushed < len(ovs) {
+		run := sh.ring.reserveRun(len(ovs) - pushed)
+		if run == nil {
+			break
+		}
+		for i := range run {
+			fillBatch(&run[i], stream, ovs[pushed+i])
+		}
+		sh.ring.publishRun(len(run))
+		pushed += len(run)
+	}
+	f.accepted[stream] += uint64(pushed)
+	f.dropped[stream] += uint64(len(ovs) - pushed)
+	return pushed
+}
+
+// PushBatchWait is PushBatch for lossless replay: it blocks until every
+// interval is enqueued instead of dropping the suffix. Batches larger
+// than the ring drain through in ring-sized runs.
+func (f *Fleet) PushBatchWait(stream int, ovs []*hpm.Overflow) {
+	f.checkPush(stream, ovs)
+	sh := f.shards[f.shardOf[stream]]
+	pushed := 0
+	for pushed < len(ovs) {
+		run := sh.ring.reserveRunWait(len(ovs) - pushed)
+		for i := range run {
+			fillBatch(&run[i], stream, ovs[pushed+i])
+		}
+		sh.ring.publishRun(len(run))
+		pushed += len(run)
+	}
+	f.accepted[stream] += uint64(pushed)
+}
+
 // Push offers one sampling interval to a stream without blocking. It
 // returns false — and counts a drop against the stream — when the shard's
-// ring is full. The samples are copied into a preallocated ring slot, so
-// the caller may reuse ov.Samples immediately and the steady-state path
-// performs no allocation.
-//
-// Push panics on a closed fleet, an out-of-range stream, or a batch
-// larger than Config.MaxSamples: all three are caller bugs, not load.
+// ring is full. Per-item wrapper over the PushBatch core; it shares that
+// API's copy semantics, panics and zero-allocation contract.
 func (f *Fleet) Push(stream int, ov *hpm.Overflow) bool {
-	f.checkPush(stream, ov)
-	sh := f.shards[f.shardOf[stream]]
-	s := sh.ring.reserve()
-	if s == nil {
-		f.dropped[stream]++
-		return false
-	}
-	fillBatch(s, stream, ov)
-	sh.ring.publish()
-	f.accepted[stream]++
-	return true
+	f.one[0] = ov
+	return f.PushBatch(stream, f.one[:]) == 1
 }
 
 // PushWait is Push for lossless replay: it blocks until the shard ring
-// has space instead of dropping.
+// has space instead of dropping. Per-item wrapper over PushBatchWait.
 func (f *Fleet) PushWait(stream int, ov *hpm.Overflow) {
-	f.checkPush(stream, ov)
-	sh := f.shards[f.shardOf[stream]]
-	s := sh.ring.reserveWait()
-	fillBatch(s, stream, ov)
-	sh.ring.publish()
-	f.accepted[stream]++
+	f.one[0] = ov
+	f.PushBatchWait(stream, f.one[:])
 }
 
-func (f *Fleet) checkPush(stream int, ov *hpm.Overflow) {
+func (f *Fleet) checkPush(stream int, ovs []*hpm.Overflow) {
 	if f.closed {
 		panic("ingest: Push on closed Fleet")
 	}
 	if stream < 0 || stream >= len(f.shardOf) {
 		panic(fmt.Sprintf("ingest: stream %d out of range [0,%d)", stream, len(f.shardOf)))
 	}
-	if len(ov.Samples) > f.maxSamples {
-		panic(fmt.Sprintf("ingest: batch of %d samples exceeds MaxSamples %d", len(ov.Samples), f.maxSamples))
+	for i, ov := range ovs {
+		if len(ov.Samples) > f.maxSamples {
+			panic(fmt.Sprintf("ingest: interval %d of batch carries %d samples, exceeding MaxSamples %d", i, len(ov.Samples), f.maxSamples))
+		}
 	}
 }
 
@@ -421,6 +476,16 @@ func newStream(id int, build BuildFunc) (*stream, error) {
 // run is the shard worker loop. It builds its streams' stacks in this
 // goroutine (worker-owned from birth), reports readiness, then consumes
 // its ring until an opStop arrives.
+//
+// The loop is batch-first: each wake drains the maximal contiguous run of
+// queued slots, groups consecutive same-stream batch slots, and delivers
+// each group to its pipeline with one ObserveBatch call. Slots are
+// released per group (and per control op) rather than per slot, so a
+// producer parked on a full ring pays one wake per group. Control ops are
+// still executed at exactly their FIFO position within the run, and their
+// slots — plus every batch slot before them — are released before the op
+// is acknowledged, preserving the pre-batching invariant that an
+// acknowledged Drain leaves the ring empty.
 func (sh *shard) run(numStreams int, build BuildFunc, ready chan<- error) {
 	defer close(sh.done)
 	// Dense stream-id index (nil for streams owned by other shards):
@@ -457,28 +522,55 @@ func (sh *shard) run(numStreams int, build BuildFunc, ready chan<- error) {
 			c.wg.Done()
 		}
 	}
-	ov := &hpm.Overflow{} // reused for every delivery: the hot loop allocates nothing
+	// Per-delivery scratch, sized to the ring once: a run can never exceed
+	// the ring capacity, so the hot loop allocates nothing. ovs carries the
+	// overflow headers for one same-stream group; batch aliases them as the
+	// []*hpm.Overflow view ObserveBatch consumes.
+	ovs := make([]hpm.Overflow, sh.ring.cap())
+	batch := make([]*hpm.Overflow, len(ovs))
+	for i := range ovs {
+		batch[i] = &ovs[i]
+	}
 	for {
-		s := sh.ring.waitSlot()
-		if c := s.ctl; c != nil {
-			s.ctl = nil
-			sh.ring.release()
-			if c.op == opStop {
-				c.err = firstStreamErr(states, sh.streams)
+		run := sh.ring.waitRun()
+		released := 0
+		k := 0
+		for k < len(run) {
+			if c := run[k].ctl; c != nil {
+				run[k].ctl = nil
+				k++
+				sh.ring.releaseRun(k - released)
+				released = k
+				if c.op == opStop {
+					c.err = firstStreamErr(states, sh.streams)
+					c.wg.Done()
+					return
+				}
+				sh.exec(c, states)
 				c.wg.Done()
-				return
+				continue
 			}
-			sh.exec(c, states)
-			c.wg.Done()
-			continue
+			// Group the maximal same-stream run of batch slots and deliver
+			// it in one pipeline call.
+			id := run[k].stream
+			j := k + 1
+			for j < len(run) && run[j].ctl == nil && run[j].stream == id {
+				j++
+			}
+			for i := k; i < j; i++ {
+				ov := batch[i-k]
+				ov.Seq = run[i].seq
+				ov.Cycle = run[i].cycle
+				ov.Samples = run[i].samples[:run[i].n]
+			}
+			st := states[id]
+			st.pipe.ObserveBatch(batch[:j-k])
+			st.intervals += j - k
+			k = j
+			// Only now may the producer overwrite the group's slots.
+			sh.ring.releaseRun(k - released)
+			released = k
 		}
-		st := states[s.stream]
-		ov.Seq = s.seq
-		ov.Cycle = s.cycle
-		ov.Samples = s.samples[:s.n]
-		st.pipe.ProcessOverflow(ov)
-		st.intervals++
-		sh.ring.release() // only now may the producer overwrite the slot
 	}
 }
 

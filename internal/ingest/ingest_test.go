@@ -301,6 +301,200 @@ func TestFleetSteadyStateAllocs(t *testing.T) {
 	f.Drain()
 }
 
+// newOverflowBatch allocates n independent overflow buffers (the ingest
+// package cannot use soak.NewOverflowBatch — soak imports ingest).
+func newOverflowBatch(n, samples int) []*hpm.Overflow {
+	ovs := make([]*hpm.Overflow, n)
+	for i := range ovs {
+		ovs[i] = newOverflow(samples)
+	}
+	return ovs
+}
+
+// runFleetBatched drives the same deterministic workload as runFleet, but
+// through PushBatchWait with per-stream, per-round batch sizes chosen by
+// batchOf — so interleavings mix (stream 0 may push 5 intervals while
+// stream 1 pushes 1) while each stream still sees its intervals in order.
+func runFleetBatched(t *testing.T, streams, shards, intervals int, batchOf func(stream, base int) int) []uint64 {
+	t.Helper()
+	f, err := NewFleet(streams, testConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bufs := newOverflowBatch(8, 24)
+	next := make([]int, streams) // next interval seq per stream
+	for done := false; !done; {
+		done = true
+		for s := 0; s < streams; s++ {
+			if next[s] >= intervals {
+				continue
+			}
+			done = false
+			n := batchOf(s, next[s])
+			if n < 1 {
+				n = 1
+			}
+			if n > len(bufs) {
+				n = len(bufs)
+			}
+			if next[s]+n > intervals {
+				n = intervals - next[s]
+			}
+			for k := 0; k < n; k++ {
+				fillOverflow(bufs[k], s, next[s]+k)
+			}
+			f.PushBatchWait(s, bufs[:n])
+			next[s] += n
+		}
+	}
+	f.Drain()
+	digs := make([]uint64, streams)
+	for s := range digs {
+		info, err := f.StreamInfo(s)
+		if err != nil {
+			t.Fatalf("stream %d: %v", s, err)
+		}
+		if info.Intervals != intervals {
+			t.Fatalf("stream %d processed %d intervals, want %d", s, info.Intervals, intervals)
+		}
+		digs[s] = info.Digest
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return digs
+}
+
+// TestFleetBatchDifferential is the batch path's byte-identity contract:
+// the same per-stream workload driven through a per-item Push loop and
+// through PushBatchWait — with mixed batch sizes across streams and
+// rounds — produces identical per-stream verdict digests at every shard
+// count. Run under -race this also exercises multi-slot reservation
+// publishing against concurrent worker drains.
+func TestFleetBatchDifferential(t *testing.T) {
+	const streams, intervals = 9, 200
+	ref := runFleet(t, streams, 1, intervals) // per-item path, 1 shard
+	shapes := map[string]func(stream, base int) int{
+		"uniform8": func(stream, base int) int { return 8 },
+		"mixed":    func(stream, base int) int { return 1 + (stream*7+base)%5 },
+	}
+	for name, batchOf := range shapes {
+		for _, shards := range []int{1, 3, 8} {
+			got := runFleetBatched(t, streams, shards, intervals, batchOf)
+			for s := range ref {
+				if got[s] != ref[s] {
+					t.Errorf("%s: stream %d digest with %d shards = %#x, want %#x (per-item, 1 shard)",
+						name, s, shards, got[s], ref[s])
+				}
+			}
+		}
+	}
+}
+
+// TestFleetBatchPartialDrop pins the partial-batch contract: when the ring
+// fills mid-batch, the accepted intervals are exactly a prefix of the
+// batch, the dropped suffix is counted, and the processed verdict stream
+// equals a reference run fed only that prefix.
+func TestFleetBatchPartialDrop(t *testing.T) {
+	gate := make(chan struct{})
+	cfg := Config{
+		Shards:     1,
+		QueueCap:   4,
+		MaxSamples: 32,
+		Build: func(stream int) (*pipeline.Pipeline, error) {
+			pipe, err := buildStack(stream)
+			if err != nil {
+				return nil, err
+			}
+			pipe.AddObserver(func(*pipeline.IntervalReport) { <-gate })
+			return pipe, nil
+		},
+	}
+	f, err := NewFleet(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const total = 12 // QueueCap + the in-flight interval + at least 7 drops
+	batch := newOverflowBatch(total, 24)
+	for k := range batch {
+		fillOverflow(batch[k], 0, k)
+	}
+	pushed := f.PushBatch(0, batch)
+	if pushed < 4 || pushed > 5 {
+		t.Errorf("PushBatch accepted %d of %d with QueueCap 4, want 4 or 5", pushed, total)
+	}
+	st := f.Stats()
+	if st.Accepted != uint64(pushed) || st.Dropped != uint64(total-pushed) {
+		t.Errorf("Stats accepted/dropped = %d/%d, want %d/%d", st.Accepted, st.Dropped, pushed, total-pushed)
+	}
+	close(gate)
+	f.Drain()
+	info, err := f.StreamInfo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Intervals != pushed {
+		t.Fatalf("processed %d intervals, want %d (the accepted prefix)", info.Intervals, pushed)
+	}
+
+	// Prefix property: a reference fleet fed exactly the first `pushed`
+	// intervals per-item must land on the same digest — anything else
+	// would mean the drop punched a hole mid-batch instead of truncating.
+	r, err := NewFleet(1, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for k := 0; k < pushed; k++ {
+		r.PushWait(0, batch[k])
+	}
+	r.Drain()
+	rinfo, err := r.StreamInfo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.Digest != info.Digest {
+		t.Errorf("partial-drop digest %#x != prefix reference %#x", info.Digest, rinfo.Digest)
+	}
+}
+
+// TestFleetBatchAllocs pins the batched producer path's steady-state
+// allocation contract: pushing preallocated interval batches through to
+// fully processed verdicts allocates nothing on either side of the ring.
+func TestFleetBatchAllocs(t *testing.T) {
+	const streams, batch = 4, 8
+	f, err := NewFleet(streams, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bufs := make([][]*hpm.Overflow, streams)
+	for s := range bufs {
+		bufs[s] = newOverflowBatch(batch, 24)
+	}
+	seq := 0
+	pushAll := func() {
+		for s := 0; s < streams; s++ {
+			for k := range bufs[s] {
+				fillOverflow(bufs[s][k], s, seq+k)
+			}
+			f.PushBatchWait(s, bufs[s])
+		}
+		seq += batch
+	}
+	for seq < 200 {
+		pushAll()
+	}
+	f.Drain()
+	if avg := testing.AllocsPerRun(100, pushAll); avg != 0 {
+		t.Errorf("steady-state batched push allocates %v per round; want 0", avg)
+	}
+	f.Drain()
+}
+
 // TestFleetStreamInfo covers the in-band info op: shard assignment
 // matches ShardOf and interval counts track per-stream pushes.
 func TestFleetStreamInfo(t *testing.T) {

@@ -28,6 +28,13 @@ type slot struct {
 // reads slots at head (which the producer cannot reuse until head is
 // advanced).
 //
+// The transfer primitives are batch-first: reserveRun/publishRun move a
+// contiguous run of slots with one tail advance and at most one consumer
+// wake, and waitRun/releaseRun drain a contiguous run with one head
+// advance and at most one producer wake. The per-slot reserve/publish and
+// waitSlot/release used by the control path are thin wrappers over the
+// run forms, so both paths share one synchronization core.
+//
 // Blocking is event-driven, not spinning: dataWake (capacity 1) carries
 // "something was published" from producer to consumer, spaceWake carries
 // "a slot was freed" back. Both are best-effort sticky tokens — a stale
@@ -71,55 +78,105 @@ func (r *ring) cap() int { return len(r.slots) }
 // safe; a racing read is at worst one off in either direction).
 func (r *ring) depth() int { return int(r.tail.Load() - r.head.Load()) }
 
-// reserve returns the next producer slot, or nil when the ring is full.
-// Producer-only. The slot is not visible to the consumer until publish.
-func (r *ring) reserve() *slot {
+// reserveRun returns the next run of free producer slots, up to want: the
+// run starts at tail and is bounded by the free count and by the backing
+// array's wrap point (a batch spanning the wrap takes two reservations).
+// It returns nil when the ring is full. Producer-only; the slots are not
+// visible to the consumer until publishRun.
+func (r *ring) reserveRun(want int) []slot {
 	t := r.tail.Load()
-	if t-r.head.Load() == uint64(len(r.slots)) {
+	free := uint64(len(r.slots)) - (t - r.head.Load())
+	if free == 0 || want <= 0 {
 		return nil
 	}
-	return &r.slots[t&r.mask]
+	n := uint64(want)
+	if n > free {
+		n = free
+	}
+	i := t & r.mask
+	if wrap := uint64(len(r.slots)) - i; n > wrap {
+		n = wrap
+	}
+	return r.slots[i : i+n]
 }
 
-// reserveWait is reserve, blocking until a slot frees up. Producer-only.
-func (r *ring) reserveWait() *slot {
+// reserveRunWait is reserveRun, blocking until at least one slot frees
+// up. Producer-only.
+func (r *ring) reserveRunWait(want int) []slot {
 	for {
-		if s := r.reserve(); s != nil {
-			return s
+		if run := r.reserveRun(want); run != nil {
+			return run
 		}
 		<-r.spaceWake
 	}
 }
 
-// publish makes the last reserved slot visible to the consumer and wakes
-// it if parked. Producer-only.
-func (r *ring) publish() {
-	r.tail.Store(r.tail.Load() + 1)
+// publishRun makes the last n reserved slots visible to the consumer with
+// one tail advance and wakes it (at most once) if parked. Producer-only.
+func (r *ring) publishRun(n int) {
+	r.tail.Store(r.tail.Load() + uint64(n))
 	select {
 	case r.dataWake <- struct{}{}:
 	default:
 	}
 }
 
-// waitSlot returns the next queued slot, parking until one is published.
-// Consumer-only. The slot stays owned by the consumer until release.
-func (r *ring) waitSlot() *slot {
+// reserve returns the next producer slot, or nil when the ring is full.
+// Per-item wrapper over reserveRun. Producer-only.
+func (r *ring) reserve() *slot {
+	run := r.reserveRun(1)
+	if run == nil {
+		return nil
+	}
+	return &run[0]
+}
+
+// reserveWait is reserve, blocking until a slot frees up. Producer-only.
+func (r *ring) reserveWait() *slot {
+	return &r.reserveRunWait(1)[0]
+}
+
+// publish makes the last reserved slot visible to the consumer and wakes
+// it if parked. Producer-only.
+func (r *ring) publish() { r.publishRun(1) }
+
+// waitRun returns the maximal contiguous run of queued slots starting at
+// head, parking until at least one is published. The run is bounded by
+// the backing array's wrap point; the next call picks up the wrapped
+// remainder. Consumer-only; the slots stay consumer-owned until released.
+func (r *ring) waitRun() []slot {
 	for {
 		h := r.head.Load()
-		if r.tail.Load() != h {
-			return &r.slots[h&r.mask]
+		n := r.tail.Load() - h
+		if n != 0 {
+			i := h & r.mask
+			if wrap := uint64(len(r.slots)) - i; n > wrap {
+				n = wrap
+			}
+			return r.slots[i : i+n]
 		}
 		<-r.dataWake
 	}
 }
 
-// release returns the current consumer slot to the producer and wakes it
-// if parked on a full ring. Consumer-only; call only after the slot's
+// releaseRun returns the first n unreleased slots of the current run to
+// the producer with one head advance and wakes it (at most once) if
+// parked on a full ring. Consumer-only; call only after those slots'
 // contents are fully consumed (the producer may overwrite immediately).
-func (r *ring) release() {
-	r.head.Store(r.head.Load() + 1)
+// Releasing a prefix keeps the rest of the run valid: the producer writes
+// only at tail, which cannot reach the unreleased remainder.
+func (r *ring) releaseRun(n int) {
+	r.head.Store(r.head.Load() + uint64(n))
 	select {
 	case r.spaceWake <- struct{}{}:
 	default:
 	}
 }
+
+// waitSlot returns the next queued slot, parking until one is published.
+// Per-item wrapper over waitRun. Consumer-only.
+func (r *ring) waitSlot() *slot { return &r.waitRun()[0] }
+
+// release returns the current consumer slot to the producer. Per-item
+// wrapper over releaseRun. Consumer-only.
+func (r *ring) release() { r.releaseRun(1) }

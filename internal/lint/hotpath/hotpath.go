@@ -1,8 +1,10 @@
 // Package hotpath turns the repo's runtime allocation gates
-// (TestSystemRunAllocs, pipeline's TestHotPathAllocs) into a compile-time
-// check: the monitoring hot path — every ObserveInterval / ProcessOverflow
-// method and everything those methods statically call within the module —
-// must not contain allocating constructs. The paper's premise is that
+// (TestSystemRunAllocs, pipeline's TestHotPathAllocs, ingest's
+// TestFleetBatchAllocs) into a compile-time check: the monitoring hot
+// path — every ObserveInterval / ProcessOverflow / ObserveBatch method,
+// the batch-first ingest entries PushBatch / PushBatchWait, and
+// everything those methods statically call within the module — must not
+// contain allocating constructs. The paper's premise is that
 // continuous monitoring is only viable because the per-interval work is
 // cheap (ADORE's <1% overhead); a stray fmt.Sprintf or closure literal in
 // an interval handler silently breaks that.
@@ -43,8 +45,16 @@ import (
 	"regionmon/internal/lint/loader"
 )
 
-// rootNames are the hot-path entry points.
-var rootNames = map[string]bool{"ObserveInterval": true, "ProcessOverflow": true}
+// rootNames are the hot-path entry points: the per-interval detector
+// methods, the pipeline's batch entry, and the ingest producer's batch
+// pushes (whose per-item forms are wrappers over them).
+var rootNames = map[string]bool{
+	"ObserveInterval": true,
+	"ProcessOverflow": true,
+	"ObserveBatch":    true,
+	"PushBatch":       true,
+	"PushBatchWait":   true,
+}
 
 // coldNames are checkpointing methods that are cold by contract: a
 // Snapshot/Restore pair (and the nested AppendSnapshot/RestoreSnapshot of
@@ -63,7 +73,7 @@ const name = "hotpath"
 
 var Analyzer = &analysis.Analyzer{
 	Name: name,
-	Doc:  "forbid allocating constructs in ObserveInterval/ProcessOverflow and everything they statically call",
+	Doc:  "forbid allocating constructs in ObserveInterval/ProcessOverflow/ObserveBatch/PushBatch(Wait) and everything they statically call",
 	Run:  run,
 }
 

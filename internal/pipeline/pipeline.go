@@ -14,6 +14,9 @@
 //     payload for consumers that want the full story).
 //   - Pipeline fans each overflow out to every registered detector in
 //     registration order and merges the verdicts into one IntervalReport.
+//     ObserveBatch is the batch-first entry consuming a whole run of
+//     intervals per call (the ingest fleet's worker loop drains ring runs
+//     straight into it); ProcessOverflow is its per-item wrapper.
 //   - Observers hook the merged report; any number may be attached, and
 //     the pipeline additionally maintains per-detector aggregate counters
 //     (DetectorStats) so consumers do not each re-derive interval, stable
@@ -124,7 +127,8 @@ type Pipeline struct {
 	stats     []DetectorStats
 	byName    map[string]int
 	observers []Observer
-	rep       IntervalReport // reused across intervals
+	rep       IntervalReport   // reused across intervals
+	one       [1]*hpm.Overflow // scratch backing the per-item ProcessOverflow wrapper
 	intervals int
 }
 
@@ -207,32 +211,56 @@ func (p *Pipeline) Handler() func(*hpm.Overflow) {
 }
 
 // ProcessOverflow runs one sampling interval through every registered
-// detector and delivers the merged report to the observers. The returned
-// report is reused across calls (see IntervalReport's lifetime rule). It
-// is the natural hpm overflow callback:
+// detector and delivers the merged report to the observers. Per-item
+// wrapper over the ObserveBatch core. The returned report is reused
+// across calls (see IntervalReport's lifetime rule). It is the natural
+// hpm overflow callback:
 //
 //	mon, _ := hpm.New(cfg, func(ov *hpm.Overflow) { pipe.ProcessOverflow(ov) })
 func (p *Pipeline) ProcessOverflow(ov *hpm.Overflow) *IntervalReport {
-	p.intervals++
-	p.rep.Seq = ov.Seq
-	p.rep.Cycle = ov.Cycle
-	p.rep.Verdicts = p.rep.Verdicts[:0]
-	for i, d := range p.dets {
-		v := d.ObserveInterval(ov)
-		p.rep.Verdicts = append(p.rep.Verdicts, v)
-		st := &p.stats[i]
-		st.Intervals++
-		if v.Stable {
-			st.StableIntervals++
-		}
-		if v.PhaseChange {
-			st.PhaseChanges++
-		}
-	}
-	for _, fn := range p.observers {
-		if fn != nil {
-			fn(&p.rep)
-		}
-	}
+	p.one[0] = ov
+	p.ObserveBatch(p.one[:])
 	return &p.rep
+}
+
+// ObserveBatch runs a run of sampling intervals through the fan-out in
+// one call — the batch-first entry the ingest worker drains ring runs
+// into. The per-interval contract is exactly ProcessOverflow's, interval
+// by interval: for each overflow, every detector observes it in
+// registration order, then the observers receive the merged report, and
+// only then does the next interval start. That interleaving is forced by
+// the payload lifetime rule (a detector's verdict payload is only valid
+// until its next ObserveInterval call), and it is what makes the batched
+// and per-item paths verdict-stream byte-identical. What the batch entry
+// amortizes is everything around that core: one call dispatch, one
+// intervals-counter update, and one report/stats setup per batch instead
+// of per interval — plus, upstream, the ring reserve/publish/wake the
+// ingest layer pays once per batch.
+//
+// Every overflow in ovs (and the report delivered to observers) follows
+// the usual lifetime rule: valid only until the call returns.
+func (p *Pipeline) ObserveBatch(ovs []*hpm.Overflow) {
+	p.intervals += len(ovs)
+	for _, ov := range ovs {
+		p.rep.Seq = ov.Seq
+		p.rep.Cycle = ov.Cycle
+		p.rep.Verdicts = p.rep.Verdicts[:0]
+		for i, d := range p.dets {
+			v := d.ObserveInterval(ov)
+			p.rep.Verdicts = append(p.rep.Verdicts, v)
+			st := &p.stats[i]
+			st.Intervals++
+			if v.Stable {
+				st.StableIntervals++
+			}
+			if v.PhaseChange {
+				st.PhaseChanges++
+			}
+		}
+		for _, fn := range p.observers {
+			if fn != nil {
+				fn(&p.rep)
+			}
+		}
+	}
 }

@@ -224,6 +224,88 @@ func TestObserverSlots(t *testing.T) {
 	}
 }
 
+// TestObserveBatchMatchesPerItem is the pipeline-level half of the batch
+// byte-identity contract: a run of intervals through ObserveBatch produces
+// exactly the interleaving of per-item ProcessOverflow calls — same
+// verdicts in the same order, observers fired once per interval between
+// detector passes, stats counted identically.
+func TestObserveBatchMatchesPerItem(t *testing.T) {
+	type event struct {
+		seq      int
+		verdicts []Verdict
+	}
+	drive := func(batch int) ([]event, DetectorStats) {
+		prog, l1, l2 := testProgram(t)
+		pipe, _, _, _, _ := fullPipeline(t, prog)
+		var events []event
+		pipe.AddObserver(func(rep *IntervalReport) {
+			// Copy: the report and its payloads are reused per interval.
+			vs := make([]Verdict, len(rep.Verdicts))
+			copy(vs, rep.Verdicts)
+			for i := range vs {
+				vs[i].Payload = nil
+			}
+			events = append(events, event{rep.Seq, vs})
+		})
+		pcs := append(spanPCs(l1, 8), spanPCs(l2, 8)...)
+		const intervals = 48
+		if batch <= 1 {
+			for seq := 0; seq < intervals; seq++ {
+				pipe.ProcessOverflow(overflow(seq, 64, pcs...))
+			}
+		} else {
+			for base := 0; base < intervals; base += batch {
+				n := batch
+				if base+n > intervals {
+					n = intervals - base
+				}
+				ovs := make([]*hpm.Overflow, n)
+				for k := range ovs {
+					ovs[k] = overflow(base+k, 64, pcs...)
+				}
+				pipe.ObserveBatch(ovs)
+			}
+		}
+		if pipe.Intervals() != intervals {
+			t.Fatalf("batch %d: Intervals = %d; want %d", batch, pipe.Intervals(), intervals)
+		}
+		return events, pipe.Stats(NameGPD)
+	}
+
+	refEvents, refStats := drive(1)
+	for _, batch := range []int{5, 16, 64} {
+		events, stats := drive(batch)
+		if stats != refStats {
+			t.Errorf("batch %d: gpd stats %+v != per-item %+v", batch, stats, refStats)
+		}
+		if len(events) != len(refEvents) {
+			t.Fatalf("batch %d: %d observer events; want %d", batch, len(events), len(refEvents))
+		}
+		for i := range events {
+			if events[i].seq != refEvents[i].seq {
+				t.Fatalf("batch %d: event %d seq %d; want %d", batch, i, events[i].seq, refEvents[i].seq)
+			}
+			for j := range events[i].verdicts {
+				if events[i].verdicts[j] != refEvents[i].verdicts[j] {
+					t.Errorf("batch %d: interval %d verdict %d = %+v; want %+v",
+						batch, i, j, events[i].verdicts[j], refEvents[i].verdicts[j])
+				}
+			}
+		}
+	}
+}
+
+// TestObserveBatchEmpty: a zero-length batch is a no-op, not a panic.
+func TestObserveBatchEmpty(t *testing.T) {
+	pipe := New()
+	pipe.MustRegister(NewGPD(gpd.MustNew(gpd.DefaultConfig())))
+	pipe.ObserveBatch(nil)
+	pipe.ObserveBatch([]*hpm.Overflow{})
+	if pipe.Intervals() != 0 {
+		t.Errorf("Intervals = %d after empty batches; want 0", pipe.Intervals())
+	}
+}
+
 // TestHotPathAllocs gates the per-interval allocation budget of the whole
 // fan-out (GPD + region monitoring with a formed region) under each
 // distribution path: after warm-up, processing an interval must not
@@ -259,6 +341,16 @@ func TestHotPathAllocs(t *testing.T) {
 			// internals); both average well below one per interval.
 			if avg > 1 {
 				t.Errorf("hot path allocates %.2f allocs/interval; want <= 1", avg)
+			}
+			// The batch entry holds the same budget per interval.
+			batch := make([]*hpm.Overflow, 8)
+			for i := range batch {
+				batch[i] = ov
+			}
+			if avg := testing.AllocsPerRun(50, func() {
+				pipe.ObserveBatch(batch)
+			}) / float64(len(batch)); avg > 1 {
+				t.Errorf("batched hot path allocates %.2f allocs/interval; want <= 1", avg)
 			}
 		})
 	}

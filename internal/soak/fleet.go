@@ -3,6 +3,7 @@ package soak
 import (
 	"fmt"
 
+	"regionmon/internal/hpm"
 	"regionmon/internal/ingest"
 	"regionmon/internal/pipeline"
 	"regionmon/internal/vhash"
@@ -25,6 +26,11 @@ type FleetConfig struct {
 	// SamplesPerInterval is the synthetic overflow buffer size
 	// (default 96).
 	SamplesPerInterval int
+	// Batch is the number of intervals per stream pushed in one
+	// PushBatchWait call (default 16; 1 drives the per-item PushWait
+	// path). Purely a transport knob: digests are independent of it,
+	// and TestFleetSoakBatchInvariance pins that.
+	Batch int
 	// Seed seeds stream 0's workload; stream s uses a golden-ratio
 	// offset of it, so every stream's workload differs (default 1).
 	Seed uint64
@@ -51,6 +57,9 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	}
 	if c.SamplesPerInterval == 0 {
 		c.SamplesPerInterval = 96
+	}
+	if c.Batch == 0 {
+		c.Batch = 16
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -131,31 +140,58 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 	// closing explicitly is fine.
 	defer func() { f.Close() }()
 
+	// Batched driving: each stream's next cfg.Batch intervals are generated
+	// into preallocated caller-owned overflows and pushed with one
+	// PushBatchWait call. Blocks are cut at kill/restore boundaries and at
+	// the warmup interval, so those events fire at exactly the same
+	// interval indices as a per-item (Batch=1) run.
+	bufs := make([][]*hpm.Overflow, cfg.Streams)
+	for s := range bufs {
+		bufs[s] = NewOverflowBatch(cfg.Batch, cfg.SamplesPerInterval)
+	}
+
 	var res FleetResult
-	for i := 0; i < cfg.Intervals; i++ {
-		if cfg.RestoreEvery > 0 && i > 0 && i%cfg.RestoreEvery == 0 {
+	for base := 0; base < cfg.Intervals; {
+		if cfg.RestoreEvery > 0 && base > 0 && base%cfg.RestoreEvery == 0 {
 			snap, err := f.Snapshot()
 			if err != nil {
-				return res, fmt.Errorf("soak: fleet snapshot at round %d: %w", i, err)
+				return res, fmt.Errorf("soak: fleet snapshot at round %d: %w", base, err)
 			}
 			if err := f.Close(); err != nil {
-				return res, fmt.Errorf("soak: fleet close at round %d: %w", i, err)
+				return res, fmt.Errorf("soak: fleet close at round %d: %w", base, err)
 			}
 			fresh, err := ingest.NewFleet(cfg.Streams, icfg)
 			if err != nil {
 				return res, err
 			}
 			if err := fresh.Restore(snap); err != nil {
-				return res, fmt.Errorf("soak: fleet restore at round %d: %w", i, err)
+				return res, fmt.Errorf("soak: fleet restore at round %d: %w", base, err)
 			}
 			f = fresh // the old fleet is dead; resume on the restored one
 			res.Restores++
 			res.SnapshotBytes = len(snap)
 		}
-		for s := range gens {
-			f.PushWait(s, gens[s].Interval(i))
+		n := cfg.Batch
+		if base+n > cfg.Intervals {
+			n = cfg.Intervals - base
 		}
-		if i == cfg.Warmup {
+		if cfg.RestoreEvery > 0 {
+			if next := cfg.RestoreEvery - base%cfg.RestoreEvery; n > next {
+				n = next
+			}
+		}
+		if base <= cfg.Warmup && cfg.Warmup < base+n {
+			n = cfg.Warmup - base + 1
+		}
+		for s := range gens {
+			bb := bufs[s][:n]
+			for k := range bb {
+				gens[s].IntervalInto(base+k, bb[k])
+			}
+			f.PushBatchWait(s, bb)
+		}
+		base += n
+		if base == cfg.Warmup+1 {
 			f.Drain()
 			res.HeapBaseline = heapAlloc()
 		}

@@ -41,6 +41,54 @@ func TestFleetSoakKillRestoreMatchesReference(t *testing.T) {
 	}
 }
 
+// TestFleetSoakBatchInvariance pins the transport-knob contract stated on
+// FleetConfig.Batch: the per-stream digests depend only on the workload,
+// never on how many intervals ride in each push — including a batch size
+// that does not divide the interval count, and batched pushes combined
+// with kill/restore cycles landing mid-batch-cadence.
+func TestFleetSoakBatchInvariance(t *testing.T) {
+	base := FleetConfig{Streams: 5, Intervals: 900, Shards: 2, Seed: 7, MaxHeapGrowth: 64 << 20}
+
+	cfg := base
+	cfg.Batch = 1
+	ref, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatalf("per-item reference run: %v", err)
+	}
+
+	for _, batch := range []int{7, 16} {
+		cfg := base
+		cfg.Batch = batch
+		res, err := RunFleet(cfg)
+		if err != nil {
+			t.Fatalf("batch %d run: %v", batch, err)
+		}
+		for s := range ref.Digests {
+			if res.Digests[s] != ref.Digests[s] {
+				t.Errorf("batch %d: stream %d digest %#x != per-item reference %#x",
+					batch, s, res.Digests[s], ref.Digests[s])
+			}
+		}
+	}
+
+	// Batched pushes with restore boundaries that are not batch multiples:
+	// blocks must be cut at the checkpoint, not slid past it.
+	cfg = base
+	cfg.Batch = 16
+	cfg.Shards = 3
+	cfg.RestoreEvery = 250 // not divisible by 16
+	kr, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatalf("batched kill/restore run: %v", err)
+	}
+	if kr.Restores != 3 {
+		t.Errorf("restores = %d; want 3", kr.Restores)
+	}
+	if kr.Digest != ref.Digest {
+		t.Errorf("batched kill/restore fleet digest %#x != per-item reference %#x", kr.Digest, ref.Digest)
+	}
+}
+
 // TestFleetSoakStreamsDiffer: per-stream seeds produce distinct verdict
 // streams, so digest equality across runs is not vacuous.
 func TestFleetSoakStreamsDiffer(t *testing.T) {

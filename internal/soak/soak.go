@@ -245,16 +245,18 @@ func NewStack(prog *isa.Program) (*pipeline.Pipeline, error) {
 // the fleet soak mode and cmd/benchingest, which drive many independent
 // Workloads (one per stream) over the same program.
 type Workload struct {
-	rng     uint64
-	loops   []isa.LoopSpan
-	samples []hpm.Sample // reused across intervals, like a real hpm buffer
-	cycle   uint64
+	rng   uint64
+	loops []isa.LoopSpan
+	buf   int // samples per full interval
+	cycle uint64
+	ov    hpm.Overflow // reused by Interval, like a real hpm buffer
 }
 
 // NewWorkload returns a generator seeded with seed over the given loops
 // (from BuildProgram), emitting buf samples per interval.
 func NewWorkload(seed uint64, loops []isa.LoopSpan, buf int) *Workload {
-	return &Workload{rng: seed, loops: loops, samples: make([]hpm.Sample, buf)}
+	return &Workload{rng: seed, loops: loops, buf: buf,
+		ov: hpm.Overflow{Samples: make([]hpm.Sample, buf)}}
 }
 
 // next is splitmix64.
@@ -272,17 +274,35 @@ const phaseLen = 160
 
 // Interval produces the i'th sampling interval. The returned overflow
 // aliases the generator's reusable sample buffer: consume (or copy) it
-// before requesting the next interval.
+// before requesting the next interval. Per-item wrapper over
+// IntervalInto.
 func (g *Workload) Interval(i int) *hpm.Overflow {
+	return g.IntervalInto(i, &g.ov)
+}
+
+// IntervalInto fills ov with the i'th sampling interval, writing samples
+// into ov.Samples' backing array (which must have capacity for at least
+// the generator's per-interval buffer size), and returns ov. It is the
+// batch-friendly core: a driver batching K intervals into one
+// ingest.PushBatch call fills K caller-owned overflows — every one alive
+// at once — without the generator owning K buffers itself (see
+// NewOverflowBatch). The sample stream depends only on the seed and the
+// call sequence, so batched and per-item drivers generate bit-identical
+// workloads.
+func (g *Workload) IntervalInto(i int, ov *hpm.Overflow) *hpm.Overflow {
 	phase := (i / phaseLen) % len(g.loops)
 	hot := g.loops[phase]
 	warm := g.loops[(phase+1)%len(g.loops)]
 
-	n := len(g.samples)
+	n := g.buf
 	if i%97 == 96 {
 		// Sparse partial-buffer flush: a handful of samples, the shape
 		// that exercises the region monitor's sparse-interval guard.
 		n = 3 + int(g.next()%5)
+	}
+	buf := ov.Samples[:cap(ov.Samples)]
+	if len(buf) < n {
+		panic(fmt.Sprintf("soak: IntervalInto buffer holds %d samples, interval needs %d", len(buf), n))
 	}
 	for s := 0; s < n; s++ {
 		g.cycle += 80 + g.next()%40
@@ -298,14 +318,32 @@ func (g *Workload) Interval(i int) *hpm.Overflow {
 			// Straggler in straight-line code: steady unmonitored noise.
 			pc = g.loops[g.next()%uint64(len(g.loops))].End + isa.InstrBytes
 		}
-		g.samples[s] = hpm.Sample{
+		buf[s] = hpm.Sample{
 			PC:       pc,
 			Cycle:    g.cycle,
 			Instrs:   8 + g.next()%8,
 			DCMisses: g.next() % 3,
 		}
 	}
-	return &hpm.Overflow{Seq: i, Cycle: g.cycle, Samples: g.samples[:n]}
+	ov.Seq = i
+	ov.Cycle = g.cycle
+	ov.Samples = buf[:n]
+	return ov
+}
+
+// NewOverflowBatch preallocates n overflows, each with its own
+// samples-per-interval backing buffer — the caller-owned storage a
+// batched driver hands to IntervalInto and then to ingest.PushBatch in
+// one call. The overflows share one contiguous sample allocation.
+func NewOverflowBatch(n, samplesPerInterval int) []*hpm.Overflow {
+	ovs := make([]*hpm.Overflow, n)
+	backing := make([]hpm.Overflow, n)
+	buf := make([]hpm.Sample, n*samplesPerInterval)
+	for i := range ovs {
+		backing[i].Samples = buf[i*samplesPerInterval : (i+1)*samplesPerInterval]
+		ovs[i] = &backing[i]
+	}
+	return ovs
 }
 
 // loopPC returns a pseudo-random instruction address inside span.

@@ -43,11 +43,11 @@ func TestSystemEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewSystem: %v", err)
 	}
-	var reports []IntervalReport
-	sys.Observe(func(r IntervalReport) { reports = append(reports, r) })
+	observed := 0
+	sys.AddObserver(func(*PipelineReport) { observed++ })
 	stats := sys.Run()
-	if stats.Intervals == 0 || len(reports) != stats.Intervals {
-		t.Fatalf("intervals = %d, reports = %d", stats.Intervals, len(reports))
+	if stats.Intervals == 0 || observed != stats.Intervals {
+		t.Fatalf("intervals = %d, observer saw %d", stats.Intervals, observed)
 	}
 	if stats.Regions < 2 {
 		t.Errorf("regions = %d; want >= 2 (both loops formed)", stats.Regions)
