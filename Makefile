@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench benchingest ingest-smoke ingest-batch-smoke benchregion region-smoke soak soak-short check
+.PHONY: all build vet lint test race race-hot bench benchingest ingest-smoke ingest-batch-smoke benchregion region-smoke soak soak-short check
 
 all: check
 
@@ -10,10 +10,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Run the phaselint suite (internal/lint): single-owner leak, determinism,
-# hot-path allocation and payload-switch exhaustiveness checks over the
-# whole module.
+# Run go vet plus the phaselint suite (internal/lint): single-owner leak,
+# determinism, hot-path allocation, payload-switch exhaustiveness,
+# snapshot-completeness, bounded-state, batch-wrapper and atomic-discipline
+# checks over the whole module.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/phaselint ./...
 
 test:
@@ -24,6 +26,13 @@ test:
 # stacks.
 race:
 	$(GO) test -race ./...
+
+# Race-detector pass over just the concurrency-bearing packages — the
+# ring/fleet ingestion path, the pipeline sweeps and the soak harness.
+# This is what CI's dedicated race job runs, decoupled from the fast
+# tier-1 job so a slow race schedule never blocks the main signal.
+race-hot:
+	$(GO) test -race ./internal/ingest/... ./internal/pipeline/... ./internal/soak/...
 
 # Smoke-run the hot-path benchmarks: one iteration each, with allocation
 # reporting (the allocs/op gate itself lives in TestSystemRunAllocs and
@@ -77,4 +86,4 @@ soak:
 soak-short:
 	$(GO) run ./cmd/soak -intervals 60000
 
-check: vet build lint test race bench ingest-smoke ingest-batch-smoke region-smoke soak-short
+check: build lint test bench ingest-smoke ingest-batch-smoke region-smoke soak-short

@@ -60,7 +60,7 @@ type run struct {
 	// (PushBatchWait, Batch intervals per call).
 	Mode string `json:"mode"`
 	// Batch is the intervals per push call (1 in per-push mode).
-	Batch int `json:"batch"`
+	Batch  int `json:"batch"`
 	Shards int `json:"shards"`
 	// Seconds is the median elapsed time across repetitions.
 	Seconds      float64 `json:"seconds"`

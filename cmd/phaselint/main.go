@@ -10,46 +10,52 @@
 //     AppendSnapshot/RestoreSnapshot pair are cold by contract and stop
 //     the walk);
 //   - payloadswitch: type switches over //lint:payload types must cover the
-//     whole registry or carry a default.
+//     whole registry or carry a default;
+//   - snapshotsafe: every field of a snapshotting type is referenced on
+//     both the encode and decode paths or marked //lint:config;
+//   - boundedstate: slice/map fields in detector state closures may not
+//     grow on the monitoring hot path unless marked //lint:bounded;
+//   - batchwrap: //lint:wraps-declared per-item entry points stay trivial
+//     wrappers around their batch cores;
+//   - atomicpair: //lint:atomic fields are only touched through
+//     sync/atomic.
+//
+// The list itself lives in internal/lint.Suite(); this command and the
+// clean-module self-test both consume it.
 //
 // Usage:
 //
-//	go run ./cmd/phaselint [./...]
+//	go run ./cmd/phaselint [-json] [./...]
 //
 // The only accepted package pattern is ./... (the whole module); the tool
 // exists to hold the global invariants, so partial runs are not offered.
-// Exits 1 if any analyzer reports a finding, printing one
-// file:line:col: [analyzer] message line per finding.
+// Analyzers run per-package in parallel, bounded by GOMAXPROCS, and the
+// total wall time is reported on stderr. Exits 1 if any analyzer reports
+// a finding, printing one `file:line:col: [analyzer] message` line per
+// finding — or, with -json, one JSON object per line with fields
+// file/line/col/analyzer/message, for CI annotation.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
+	"regionmon/internal/lint"
 	"regionmon/internal/lint/analysis"
-	"regionmon/internal/lint/determinism"
-	"regionmon/internal/lint/hotpath"
 	"regionmon/internal/lint/loader"
-	"regionmon/internal/lint/payloadswitch"
-	"regionmon/internal/lint/singleowner"
 )
 
-// Suite returns the analyzers phaselint runs, with determinism scoped to
-// the packages whose outputs the experiment harness asserts byte-stable:
-// the facade, internal detectors/pipeline, and the CLIs that print reports.
-// examples/ are excluded — they are documentation, free to print timings.
-func Suite() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
-		singleowner.Analyzer,
-		determinism.NewAnalyzer(
-			"regionmon",
-			"regionmon/internal/...",
-			"regionmon/cmd/...",
-		),
-		hotpath.Analyzer,
-		payloadswitch.Analyzer,
-	}
+// Record is the -json output schema, one object per finding per line.
+type Record struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
@@ -60,8 +66,13 @@ func main() {
 }
 
 func run(args []string) error {
+	jsonOut := false
 	for _, a := range args {
-		if a != "./..." {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "./...":
+		default:
 			return fmt.Errorf("unsupported argument %q (phaselint always checks the whole module; pass ./... or nothing)", a)
 		}
 	}
@@ -77,19 +88,45 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	findings, err := analysis.Run(prog, Suite())
+	suite := lint.Suite()
+	start := time.Now() //lint:allow determinism -- wall-time report, stderr only
+	findings, err := analysis.Run(prog, suite)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start) //lint:allow determinism -- wall-time report, stderr only
+	fmt.Fprintf(os.Stderr, "phaselint: %d analyzers × %d packages on %d workers in %dms\n",
+		len(suite), len(prog.Packages), runtime.GOMAXPROCS(0), elapsed.Milliseconds())
+
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
-		pos := prog.Fset.Position(f.Diagnostic.Pos)
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-			pos.Filename = rel
+		rec := toRecord(root, prog, f)
+		if jsonOut {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			continue
 		}
-		fmt.Printf("%s: [%s] %s\n", pos, f.Analyzer.Name, f.Diagnostic.Message)
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rec.File, rec.Line, rec.Col, rec.Analyzer, rec.Message)
 	}
 	if len(findings) > 0 {
 		return fmt.Errorf("%d finding(s)", len(findings))
 	}
 	return nil
+}
+
+// toRecord renders one finding with its path relative to the module root.
+func toRecord(root string, prog *loader.Program, f analysis.Finding) Record {
+	pos := prog.Fset.Position(f.Diagnostic.Pos)
+	file := pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil {
+		file = rel
+	}
+	return Record{
+		File:     filepath.ToSlash(file),
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: f.Analyzer.Name,
+		Message:  f.Diagnostic.Message,
+	}
 }

@@ -1,15 +1,20 @@
 package main
 
 import (
+	"encoding/json"
 	"testing"
 
+	"regionmon/internal/lint"
 	"regionmon/internal/lint/analysis"
 	"regionmon/internal/lint/loader"
 )
 
 // TestModuleIsClean runs the full phaselint suite over the module and
 // requires zero findings — the machine-checked form of the concurrency,
-// determinism and hot-path contracts the docs promise.
+// determinism, hot-path, snapshot, bounded-state, batch-wrapper and
+// atomic-discipline contracts the docs promise. The suite comes from the
+// internal/lint registry, so a newly registered analyzer is covered here
+// automatically.
 func TestModuleIsClean(t *testing.T) {
 	root, err := loader.FindModuleRoot(".")
 	if err != nil {
@@ -19,7 +24,11 @@ func TestModuleIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := analysis.Run(prog, Suite())
+	suite := lint.Suite()
+	if len(suite) < 8 {
+		t.Fatalf("registry lists %d analyzers, want at least 8", len(suite))
+	}
+	findings, err := analysis.Run(prog, suite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,5 +41,32 @@ func TestModuleIsClean(t *testing.T) {
 func TestRejectsPartialPatterns(t *testing.T) {
 	if err := run([]string{"./internal/..."}); err == nil {
 		t.Fatal("run accepted a partial package pattern; want an error")
+	}
+}
+
+// TestJSONSchema pins the -json record layout CI consumes: field names,
+// order, and types must not drift.
+func TestJSONSchema(t *testing.T) {
+	rec := Record{
+		File:     "internal/ingest/ring.go",
+		Line:     42,
+		Col:      7,
+		Analyzer: "atomicpair",
+		Message:  "field head is marked //lint:atomic",
+	}
+	got, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"internal/ingest/ring.go","line":42,"col":7,"analyzer":"atomicpair","message":"field head is marked //lint:atomic"}`
+	if string(got) != want {
+		t.Errorf("JSON schema drifted:\n got %s\nwant %s", got, want)
+	}
+	var back Record
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rec {
+		t.Errorf("round trip lost data: %+v != %+v", back, rec)
 	}
 }

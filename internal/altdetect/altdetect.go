@@ -75,10 +75,10 @@ func (bi *blockIndexer) lookup(pc isa.Addr) int {
 
 // BBV is the basic-block-vector phase detector.
 type BBV struct {
-	bi        *blockIndexer
-	threshold float64
+	bi        *blockIndexer //lint:config -- fixed block index over the program
+	threshold float64       //lint:config -- fixed at construction
 	prev      []float64
-	curr      []int64
+	curr      []int64 //lint:config -- per-interval scratch, zeroed after each Observe
 	hasPrev   bool
 
 	changes int
@@ -170,10 +170,10 @@ func (d *BBV) StableFraction() float64 {
 // *which* blocks executed matters, not how often — the difference from
 // BBV the paper's Section 4 highlights.
 type WorkingSet struct {
-	bi        *blockIndexer
-	threshold float64
+	bi        *blockIndexer //lint:config -- fixed block index over the program
+	threshold float64       //lint:config -- fixed at construction
 	prev      map[int]struct{}
-	curr      map[int]struct{}
+	curr      map[int]struct{} //lint:config -- per-interval scratch, cleared after each Observe
 
 	changes int
 	total   int

@@ -139,7 +139,7 @@ type Verdict struct {
 // Detector is the centroid-based global phase detector. Not safe for
 // concurrent use; the monitoring loop is single-threaded.
 type Detector struct {
-	cfg     Config
+	cfg     Config //lint:config -- fixed at construction
 	hist    *stats.Window
 	state   State
 	timer   int

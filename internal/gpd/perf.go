@@ -61,7 +61,7 @@ type PerfVerdict struct {
 // interval and flags significant changes relative to its recent band.
 // Not safe for concurrent use.
 type PerfTracker struct {
-	cfg     PerfConfig
+	cfg     PerfConfig //lint:config -- fixed at construction
 	hist    *stats.Window
 	changes int
 	total   int

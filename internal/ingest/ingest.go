@@ -138,8 +138,8 @@ type Fleet struct {
 	shardOf    []int // stream id -> shard index
 	accepted   []uint64
 	dropped    []uint64
-	maxSamples int
-	one        [1]*hpm.Overflow // scratch backing the per-item Push wrappers
+	maxSamples int              //lint:config -- fixed at construction
+	one        [1]*hpm.Overflow //lint:config -- scratch backing the per-item Push wrappers
 	ctlWG      sync.WaitGroup   // reused for every control round-trip
 	closed     bool
 }
@@ -317,6 +317,8 @@ func (f *Fleet) PushBatchWait(stream int, ovs []*hpm.Overflow) {
 // returns false — and counts a drop against the stream — when the shard's
 // ring is full. Per-item wrapper over the PushBatch core; it shares that
 // API's copy semantics, panics and zero-allocation contract.
+//
+//lint:wraps PushBatch
 func (f *Fleet) Push(stream int, ov *hpm.Overflow) bool {
 	f.one[0] = ov
 	return f.PushBatch(stream, f.one[:]) == 1
@@ -324,6 +326,8 @@ func (f *Fleet) Push(stream int, ov *hpm.Overflow) bool {
 
 // PushWait is Push for lossless replay: it blocks until the shard ring
 // has space instead of dropping. Per-item wrapper over PushBatchWait.
+//
+//lint:wraps PushBatchWait
 func (f *Fleet) PushWait(stream int, ov *hpm.Overflow) {
 	f.one[0] = ov
 	f.PushBatchWait(stream, f.one[:])

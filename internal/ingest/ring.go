@@ -44,8 +44,8 @@ type ring struct {
 	slots []slot
 	mask  uint64
 
-	head atomic.Uint64 // next slot to consume; advanced only by the consumer
-	tail atomic.Uint64 // next slot to produce; advanced only by the producer
+	head atomic.Uint64 //lint:atomic -- next slot to consume; advanced only by the consumer
+	tail atomic.Uint64 //lint:atomic -- next slot to produce; advanced only by the producer
 
 	dataWake  chan struct{}
 	spaceWake chan struct{}
@@ -123,6 +123,8 @@ func (r *ring) publishRun(n int) {
 
 // reserve returns the next producer slot, or nil when the ring is full.
 // Per-item wrapper over reserveRun. Producer-only.
+//
+//lint:wraps reserveRun
 func (r *ring) reserve() *slot {
 	run := r.reserveRun(1)
 	if run == nil {
@@ -132,12 +134,16 @@ func (r *ring) reserve() *slot {
 }
 
 // reserveWait is reserve, blocking until a slot frees up. Producer-only.
+//
+//lint:wraps reserveRunWait
 func (r *ring) reserveWait() *slot {
 	return &r.reserveRunWait(1)[0]
 }
 
 // publish makes the last reserved slot visible to the consumer and wakes
 // it if parked. Producer-only.
+//
+//lint:wraps publishRun
 func (r *ring) publish() { r.publishRun(1) }
 
 // waitRun returns the maximal contiguous run of queued slots starting at
@@ -175,8 +181,12 @@ func (r *ring) releaseRun(n int) {
 
 // waitSlot returns the next queued slot, parking until one is published.
 // Per-item wrapper over waitRun. Consumer-only.
+//
+//lint:wraps waitRun
 func (r *ring) waitSlot() *slot { return &r.waitRun()[0] }
 
 // release returns the current consumer slot to the producer. Per-item
 // wrapper over releaseRun. Consumer-only.
+//
+//lint:wraps releaseRun
 func (r *ring) release() { r.releaseRun(1) }

@@ -117,7 +117,7 @@ func (e *Epoch) Lookup(point uint64) []int {
 // monitor's declared-cold events — never in steady state, so it is free
 // to allocate (the scratch it grows is reused across epochs).
 //
-//lint:allow hotpath -- epoch rebuild is a declared cold sub-path (runs only when the region set changes)
+//lint:allow hotpath boundedstate -- epoch rebuild is a declared cold sub-path, output capped by the region set
 func (e *Epoch) rebuild() {
 	e.dirty = false
 	e.bounds = e.bounds[:0]

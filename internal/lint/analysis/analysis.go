@@ -25,8 +25,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"regionmon/internal/lint/loader"
 )
@@ -38,6 +40,13 @@ type Analyzer struct {
 	Name string
 	// Doc describes what the analyzer enforces.
 	Doc string
+	// Facts, when non-nil, is the analyzer's export-only pre-pass: it
+	// runs over every module package before any analyzer's Run phase
+	// starts, so facts it exports are visible to every Run pass
+	// regardless of package dependency direction (a detector type in a
+	// downstream package can mark state fields it borrows from an
+	// upstream one).
+	Facts func(*Pass) error
 	// Run analyzes one package.
 	Run func(*Pass) error
 }
@@ -62,6 +71,7 @@ type Pass struct {
 	// cross-package context: marked types, static call graphs).
 	Module []*loader.Package
 
+	facts  *factStore
 	report func(Diagnostic)
 }
 
@@ -81,33 +91,75 @@ type Finding struct {
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// findings sorted by position. //lint:allow directives are honoured here,
-// centrally, so individual analyzers never re-implement suppression.
+// findings sorted by position, parallelized over GOMAXPROCS workers.
+// //lint:allow directives are honoured here, centrally, so individual
+// analyzers never re-implement suppression.
 func Run(prog *loader.Program, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
+	return RunParallel(prog, analyzers, runtime.GOMAXPROCS(0))
+}
+
+// runner drives one Run/RunParallel invocation: a shared fact store, the
+// per-package allow indexes, and the finding/error sinks the parallel
+// passes write through.
+type runner struct {
+	prog      *loader.Program
+	analyzers []*Analyzer
+	facts     *factStore
+	allow     map[*loader.Package]*allowIndex
+
+	mu       sync.Mutex
+	findings []Finding
+	errs     map[unitKey]error
+}
+
+// unitKey identifies one (package, analyzer) unit of work for
+// deterministic error selection.
+type unitKey struct {
+	pkgPath  string
+	analyzer int
+}
+
+// RunParallel is Run with an explicit worker bound. Packages are analyzed
+// in dependency waves — a package runs only after every module package it
+// imports — with the packages inside a wave fanned out across at most
+// workers goroutines and the suite's analyzers applied in order within
+// each package. Two phases keep facts coherent in both directions: every
+// analyzer's Facts hook runs over the whole module first, then every Run.
+// Findings are position-sorted and errors are selected deterministically,
+// so the output is byte-identical at any worker count.
+func RunParallel(prog *loader.Program, analyzers []*Analyzer, workers int) ([]Finding, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &runner{
+		prog:      prog,
+		analyzers: analyzers,
+		facts:     newFactStore(),
+		allow:     make(map[*loader.Package]*allowIndex, len(prog.Packages)),
+		errs:      make(map[unitKey]error),
+	}
 	for _, pkg := range prog.Packages {
-		allow := newAllowIndex(prog.Fset, pkg)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     prog.Fset,
-				Pkg:      pkg,
-				Module:   prog.Packages,
-			}
-			pass.report = func(d Diagnostic) {
-				if allow.allowed(a.Name, d.Pos) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: a, Diagnostic: d})
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
-			}
+		r.allow[pkg] = newAllowIndex(prog.Fset, pkg)
+	}
+	waves := dependencyWaves(prog)
+
+	hasFacts := false
+	for _, a := range analyzers {
+		if a.Facts != nil {
+			hasFacts = true
 		}
 	}
-	sort.SliceStable(findings, func(i, j int) bool {
-		pi := prog.Fset.Position(findings[i].Diagnostic.Pos)
-		pj := prog.Fset.Position(findings[j].Diagnostic.Pos)
+	if hasFacts {
+		r.runPhase(waves, workers, true)
+	}
+	r.runPhase(waves, workers, false)
+
+	if err := r.firstError(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(r.findings, func(i, j int) bool {
+		pi := prog.Fset.Position(r.findings[i].Diagnostic.Pos)
+		pj := prog.Fset.Position(r.findings[j].Diagnostic.Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -116,7 +168,120 @@ func Run(prog *loader.Program, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return pi.Column < pj.Column
 	})
-	return findings, nil
+	return r.findings, nil
+}
+
+// runPhase applies one phase (Facts or Run) of every analyzer to every
+// package, wave by wave.
+func (r *runner) runPhase(waves [][]*loader.Package, workers int, factsPhase bool) {
+	sem := make(chan struct{}, workers)
+	for _, wave := range waves {
+		var wg sync.WaitGroup
+		for _, pkg := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(pkg *loader.Package) {
+				defer func() { <-sem; wg.Done() }()
+				r.runPackage(pkg, factsPhase)
+			}(pkg)
+		}
+		wg.Wait()
+	}
+}
+
+// runPackage applies the suite to one package, analyzers in suite order.
+func (r *runner) runPackage(pkg *loader.Package, factsPhase bool) {
+	for i, a := range r.analyzers {
+		hook := a.Run
+		if factsPhase {
+			hook = a.Facts
+		}
+		if hook == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     r.prog.Fset,
+			Pkg:      pkg,
+			Module:   r.prog.Packages,
+			facts:    r.facts,
+		}
+		pass.report = func(d Diagnostic) {
+			if r.allow[pkg].allowed(a.Name, d.Pos) {
+				return
+			}
+			r.mu.Lock()
+			r.findings = append(r.findings, Finding{Analyzer: a, Diagnostic: d})
+			r.mu.Unlock()
+		}
+		if err := hook(pass); err != nil {
+			r.mu.Lock()
+			key := unitKey{pkg.ImportPath, i}
+			if _, dup := r.errs[key]; !dup {
+				r.errs[key] = fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// firstError picks the error of the lexically-first failing unit, so a
+// parallel run reports the same error a sequential one would.
+func (r *runner) firstError() error {
+	if len(r.errs) == 0 {
+		return nil
+	}
+	keys := make([]unitKey, 0, len(r.errs))
+	for k := range r.errs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pkgPath != keys[j].pkgPath {
+			return keys[i].pkgPath < keys[j].pkgPath
+		}
+		return keys[i].analyzer < keys[j].analyzer
+	})
+	return r.errs[keys[0]]
+}
+
+// dependencyWaves groups the module's packages into topological levels:
+// every package lands one wave after the deepest module package it
+// imports, so intra-wave packages are independent and safe to analyze
+// concurrently while facts flow strictly wave-to-wave.
+func dependencyWaves(prog *loader.Program) [][]*loader.Package {
+	byPath := make(map[string]*loader.Package, len(prog.Packages))
+	for _, pkg := range prog.Packages {
+		byPath[pkg.ImportPath] = pkg
+	}
+	level := make(map[*loader.Package]int, len(prog.Packages))
+	var levelOf func(p *loader.Package) int
+	levelOf = func(p *loader.Package) int {
+		if l, ok := level[p]; ok {
+			return l
+		}
+		level[p] = 0 // cycle guard; the loader rejects real cycles
+		max := 0
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				if l := levelOf(dep) + 1; l > max {
+					max = l
+				}
+			}
+		}
+		level[p] = max
+		return max
+	}
+	deepest := 0
+	for _, pkg := range prog.Packages {
+		if l := levelOf(pkg); l > deepest {
+			deepest = l
+		}
+	}
+	waves := make([][]*loader.Package, deepest+1)
+	for _, pkg := range prog.Packages {
+		waves[level[pkg]] = append(waves[level[pkg]], pkg)
+	}
+	return waves
 }
 
 // directive is one parsed //lint: comment.
@@ -234,6 +399,18 @@ func FuncAllows(fset *token.FileSet, fn *ast.FuncDecl, analyzer string) bool {
 	return false
 }
 
+// CommentArgs returns the arguments of the first //lint:<verb> directive
+// in the comment group (e.g. the core name in //lint:wraps ObserveBatch),
+// reporting whether one was present.
+func CommentArgs(fset *token.FileSet, cg *ast.CommentGroup, verb string) ([]string, bool) {
+	for _, d := range commentDirectives(fset, cg) {
+		if d.verb == verb {
+			return d.args, true
+		}
+	}
+	return nil, false
+}
+
 // MarkedTypes scans every module package for type declarations whose doc
 // comment carries the given //lint:<verb> directive and returns their
 // *types.TypeName objects (e.g. verb "single-owner" or "payload").
@@ -261,6 +438,57 @@ func MarkedTypes(fset *token.FileSet, module []*loader.Package, verb string) map
 		}
 	}
 	return marked
+}
+
+// MarkedFields scans every module package for struct fields whose doc or
+// trailing line comment carries the given //lint:<verb> directive and
+// returns their *types.Var objects (e.g. verb "config", "bounded",
+// "atomic"). Embedded fields are matched through their type name.
+func MarkedFields(fset *token.FileSet, module []*loader.Package, verb string) map[*types.Var]bool {
+	marked := make(map[*types.Var]bool)
+	for _, pkg := range module {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if !hasVerb(fset, field.Doc, verb) && !hasVerb(fset, field.Comment, verb) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							marked[v] = true
+						}
+					}
+					if len(field.Names) == 0 { // embedded field
+						if id := embeddedIdent(field.Type); id != nil {
+							if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+								marked[v] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return marked
+}
+
+// embeddedIdent returns the name ident of an embedded field's type
+// expression (unwrapping pointers and package qualifiers).
+func embeddedIdent(expr ast.Expr) *ast.Ident {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.StarExpr:
+		return embeddedIdent(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
 }
 
 func hasVerb(fset *token.FileSet, cg *ast.CommentGroup, verb string) bool {

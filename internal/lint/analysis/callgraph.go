@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"regionmon/internal/lint/loader"
+)
+
+// FuncDecl pairs a function declaration with its defining package.
+type FuncDecl struct {
+	Pkg  *loader.Package
+	Decl *ast.FuncDecl
+}
+
+// FuncIndex is a module-wide table of declared functions, the substrate
+// for the static call graphs that hotpath and boundedstate walk. Building
+// it once per pass keeps the reachability analyses O(module), not
+// O(module × packages).
+type FuncIndex struct {
+	fset  *token.FileSet
+	funcs map[*types.Func]FuncDecl
+}
+
+// IndexFuncs indexes every function with a body declared anywhere in the
+// module.
+func IndexFuncs(fset *token.FileSet, module []*loader.Package) *FuncIndex {
+	ix := &FuncIndex{fset: fset, funcs: make(map[*types.Func]FuncDecl)}
+	for _, pkg := range module {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					ix.funcs[fn] = FuncDecl{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// Decl returns the declaration of a module function.
+func (ix *FuncIndex) Decl(fn *types.Func) (FuncDecl, bool) {
+	fd, ok := ix.funcs[fn]
+	return fd, ok
+}
+
+// Methods returns every module method (receiver-bearing function) whose
+// name satisfies the predicate, sorted by declaration position.
+func (ix *FuncIndex) Methods(match func(name string) bool) []*types.Func {
+	var out []*types.Func
+	for fn, fd := range ix.funcs {
+		if fd.Decl.Recv != nil && match(fn.Name()) {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// StaticCallees resolves a function's statically-known module callees:
+// plain calls, method calls on concrete receivers, and method values
+// (selectors used as arguments still put their body on the walked path if
+// invoked). Interface methods resolve to abstract funcs with no
+// declaration and drop out.
+func (ix *FuncIndex) StaticCallees(fd FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		var id *ast.Ident
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch fun := e.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			}
+		case *ast.SelectorExpr:
+			id = e.Sel
+		}
+		if id == nil {
+			return true
+		}
+		if fn, ok := fd.Pkg.Info.Uses[id].(*types.Func); ok {
+			if _, inModule := ix.funcs[fn]; inModule {
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Reachable BFS-walks the static call graph from the given roots and
+// returns, for every reached function, the label of the root that first
+// reached it (for diagnostics). The walk does not enter functions whose
+// doc comment carries //lint:allow <analyzer> (declared cold or exempt
+// sub-paths) nor methods whose name is in stop (cold by contract).
+func (ix *FuncIndex) Reachable(roots []*types.Func, analyzer string, stop map[string]bool) map[*types.Func]string {
+	// Sort roots by declaration position so the via labels (first root to
+	// reach a shared callee) are stable run to run regardless of how the
+	// caller collected them.
+	roots = append([]*types.Func(nil), roots...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	reachedVia := make(map[*types.Func]string)
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := reachedVia[r]; ok {
+			continue
+		}
+		fd, ok := ix.funcs[r]
+		if !ok || FuncAllows(ix.fset, fd.Decl, analyzer) {
+			continue
+		}
+		reachedVia[r] = FuncLabel(r)
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		via := reachedVia[fn]
+		for _, callee := range ix.StaticCallees(ix.funcs[fn]) {
+			if _, seen := reachedVia[callee]; seen {
+				continue
+			}
+			cd := ix.funcs[callee]
+			if FuncAllows(ix.fset, cd.Decl, analyzer) {
+				continue
+			}
+			if stop[callee.Name()] {
+				continue
+			}
+			reachedVia[callee] = via
+			queue = append(queue, callee)
+		}
+	}
+	return reachedVia
+}
+
+// FuncLabel renders pkg.Type.Method (or pkg.Func) for diagnostics.
+func FuncLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if tn := NamedOrPointee(recv.Type()); tn != nil {
+			return fn.Pkg().Name() + "." + tn.Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

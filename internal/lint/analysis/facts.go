@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// Fact is a typed, analyzer-produced statement about a types.Object,
+// mirroring golang.org/x/tools/go/analysis facts: an analyzer running on
+// the package that declares an object can export a fact about it, and any
+// later pass — the same analyzer on a downstream package, or a downstream
+// analyzer in the suite — can import it. Facts are how cross-package
+// invariants travel: boundedstate marks which struct fields are long-lived
+// detector state, atomicpair marks which fields demand sync/atomic access,
+// and the consuming checks fire wherever those objects are touched.
+//
+// Implementations must be pointer types; AFact is a marker method.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one exported fact about it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// factKey identifies one fact: facts are keyed by (object, concrete fact
+// type), so distinct fact types about the same object coexist.
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// factStore is the run-wide fact table shared by every pass. The runner's
+// scheduling (the facts phase completes over every package before any
+// check phase starts, and check phases execute in dependency order) makes
+// reads-after-writes deterministic; the mutex only guards concurrent
+// access from parallel same-wave passes.
+type factStore struct {
+	mu sync.Mutex
+	m  map[factKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey]Fact)}
+}
+
+// factType validates a fact value (non-nil pointer to struct) and returns
+// its concrete type.
+func factType(fact Fact) reflect.Type {
+	if fact == nil {
+		panic("analysis: nil Fact")
+	}
+	t := reflect.TypeOf(fact)
+	if t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T is not a pointer type", fact))
+	}
+	return t
+}
+
+// set stores a copy of fact for obj.
+func (s *factStore) set(obj types.Object, fact Fact) {
+	t := factType(fact)
+	cp := reflect.New(t.Elem())
+	cp.Elem().Set(reflect.ValueOf(fact).Elem())
+	s.mu.Lock()
+	s.m[factKey{obj, t}] = cp.Interface().(Fact)
+	s.mu.Unlock()
+}
+
+// get copies the stored fact of fact's type for obj into fact, reporting
+// whether one was found.
+func (s *factStore) get(obj types.Object, fact Fact) bool {
+	t := factType(fact)
+	s.mu.Lock()
+	stored, ok := s.m[factKey{obj, t}]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// ExportObjectFact records a fact about obj, visible to every later pass
+// (same-package downstream analyzers immediately; other packages once
+// their passes run). Unlike go/analysis, the object need not belong to
+// the pass's own package: the module loads in one process, so a pass that
+// discovers a cross-package relationship (a detector type whose state
+// closure reaches an upstream package's fields) may mark the foreign
+// object directly.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	p.facts.set(obj, fact)
+}
+
+// ImportObjectFact copies the fact of fact's concrete type about obj into
+// fact, reporting whether one had been exported.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	return p.facts.get(obj, fact)
+}

@@ -35,14 +35,20 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads testdata/src/<pkg> relative to dir, applies the analyzer, and
-// compares diagnostics against the package's // want comments.
-func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+// Run loads testdata/src/<pkg> for every named package relative to dir,
+// type-checks them together (later packages may import earlier ones by
+// their bare names — how the fact-layer analyzers get cross-package
+// fixtures), applies the analyzer, and compares diagnostics against the
+// packages' // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	src := filepath.Join(dir, "testdata", "src", pkg)
-	prog, err := loader.LoadDir(src, pkg)
+	if len(pkgs) == 0 {
+		t.Fatal("analysistest.Run: no test packages named")
+	}
+	src := filepath.Join(dir, "testdata", "src")
+	prog, err := loader.LoadDirs(src, pkgs)
 	if err != nil {
-		t.Fatalf("load %s: %v", src, err)
+		t.Fatalf("load %s %v: %v", src, pkgs, err)
 	}
 	expects := collectWants(t, prog)
 	findings, err := analysis.Run(prog, []*analysis.Analyzer{a})

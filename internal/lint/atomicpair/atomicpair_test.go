@@ -1,0 +1,12 @@
+package atomicpair_test
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysistest"
+	"regionmon/internal/lint/atomicpair"
+)
+
+func TestAtomicPair(t *testing.T) {
+	analysistest.Run(t, ".", atomicpair.Analyzer, "atomicp/decl", "atomicp/use")
+}

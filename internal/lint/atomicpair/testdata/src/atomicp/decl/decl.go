@@ -1,0 +1,27 @@
+// Package decl declares atomic-marked fields; its own methods show the
+// sanctioned access forms and the in-package violations.
+package decl
+
+import "sync/atomic"
+
+// Ring is an SPSC ring shared by a producer and a consumer goroutine.
+type Ring struct {
+	head atomic.Uint64 //lint:atomic
+	Tail uint64        //lint:atomic
+	n    int
+}
+
+// Publish uses both sanctioned forms: method on an atomic value, &field
+// into a sync/atomic function.
+func (r *Ring) Publish() {
+	r.head.Store(r.head.Load() + 1)
+	atomic.AddUint64(&r.Tail, 1)
+	r.n++
+}
+
+// Racy reads both fields without synchronization.
+func (r *Ring) Racy() int {
+	h := r.head // want "field head is marked //lint:atomic"
+	_ = h
+	return int(r.Tail) // want "field Tail is marked //lint:atomic"
+}

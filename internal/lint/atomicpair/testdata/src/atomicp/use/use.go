@@ -1,0 +1,37 @@
+// Package use touches an upstream package's atomic field: the fact
+// exported from atomicp/decl travels here.
+package use
+
+import (
+	"sync/atomic"
+
+	"atomicp/decl"
+)
+
+// Bump is the sanctioned cross-package form.
+func Bump(r *decl.Ring) {
+	atomic.AddUint64(&r.Tail, 1)
+}
+
+// Race writes and reads the field directly.
+func Race(r *decl.Ring) uint64 {
+	r.Tail = 0    // want "field Tail is marked //lint:atomic"
+	return r.Tail // want "field Tail is marked //lint:atomic"
+}
+
+// Alias leaks the address for later unsynchronized use.
+func Alias(r *decl.Ring) *uint64 {
+	return &r.Tail // want "field Tail is marked //lint:atomic"
+}
+
+// Make initializes through a composite literal, bypassing the Store.
+func Make() decl.Ring {
+	return decl.Ring{Tail: 1} // want "field Tail is marked //lint:atomic"
+}
+
+// Drain is a declared quiescent exception.
+//
+//lint:allow atomicpair -- teardown: producer and consumer are parked
+func Drain(r *decl.Ring) uint64 {
+	return r.Tail
+}

@@ -1,0 +1,158 @@
+// Package batchwrap keeps the "batch is the core" discipline honest: a
+// per-item entry point whose doc comment declares
+//
+//	//lint:wraps <BatchCore>
+//
+// (Push wraps PushBatch, ProcessOverflow wraps ObserveBatch, release
+// wraps releaseRun, ...) must stay a trivial wrapper — exactly one call
+// into the named batch core plus slice-of-one plumbing. The PR that
+// inverted each pair moved the real work into the batch body precisely so
+// the per-item path could not drift; without this check the drift comes
+// back silently: someone adds a fast-path branch to Push, the batch path
+// stops being exercised by single-item callers, and the two diverge.
+//
+// A conforming wrapper body may index/slice scratch fields, convert
+// types, use len/cap, branch on the core's result, and return. Flagged:
+// the declared core not existing on the receiver (or in the package, for
+// plain functions), zero or multiple calls to it, any other
+// function/method call, allocating builtins (append/make/new/copy),
+// loops, and bodies over eight statements.
+//
+// //lint:allow batchwrap on the wrapper's doc suppresses the check for a
+// declared exception.
+package batchwrap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"regionmon/internal/lint/analysis"
+)
+
+const name = "batchwrap"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "//lint:wraps-declared per-item wrappers must be one call into their batch core plus slice-of-one plumbing",
+	Run:  run,
+}
+
+// maxStatements bounds a trivial wrapper body.
+const maxStatements = 8
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			args, ok := analysis.CommentArgs(pass.Fset, fd.Doc, "wraps")
+			if !ok {
+				continue
+			}
+			if len(args) != 1 {
+				pass.Reportf(fd.Name.Pos(), "//lint:wraps wants exactly one batch-core name, got %d", len(args))
+				continue
+			}
+			checkWrapper(pass, fd, args[0])
+		}
+	}
+	return nil
+}
+
+// checkWrapper verifies one declared wrapper against its batch core.
+func checkWrapper(pass *analysis.Pass, fd *ast.FuncDecl, coreName string) {
+	info := pass.Pkg.Info
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	core := lookupCore(pass, fn, coreName)
+	if core == nil {
+		pass.Reportf(fd.Name.Pos(), "%s declares //lint:wraps %s but no such method or function exists", fd.Name.Name, coreName)
+		return
+	}
+	if core == fn {
+		pass.Reportf(fd.Name.Pos(), "%s declares itself as its own batch core", fd.Name.Name)
+		return
+	}
+
+	coreCalls := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeObject(info, n)
+			switch callee := callee.(type) {
+			case *types.Func:
+				if callee == core {
+					coreCalls++
+					if coreCalls > 1 {
+						pass.Reportf(n.Pos(), "%s calls its batch core %s more than once; fold the work into the core", fd.Name.Name, coreName)
+					}
+					return true
+				}
+				pass.Reportf(n.Pos(), "%s calls %s besides its batch core %s; a per-item wrapper is one core call plus plumbing", fd.Name.Name, callee.Name(), coreName)
+			case *types.Builtin:
+				switch callee.Name() {
+				case "len", "cap":
+				default:
+					pass.Reportf(n.Pos(), "%s uses builtin %s; a per-item wrapper must not allocate — reuse the receiver's slice-of-one scratch", fd.Name.Name, callee.Name())
+				}
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			pass.Reportf(n.Pos(), "%s contains a loop; iteration belongs in the batch core %s", fd.Name.Name, coreName)
+		}
+		return true
+	})
+	if coreCalls == 0 {
+		pass.Reportf(fd.Name.Pos(), "%s never calls its declared batch core %s", fd.Name.Name, coreName)
+	}
+	if n := countStatements(fd.Body); n > maxStatements {
+		pass.Reportf(fd.Name.Pos(), "%s has %d statements (max %d for a per-item wrapper); move the work into %s", fd.Name.Name, n, maxStatements, coreName)
+	}
+}
+
+// lookupCore resolves the declared core name: a method on the wrapper's
+// receiver base type, or a package-scope function for plain functions.
+func lookupCore(pass *analysis.Pass, fn *types.Func, coreName string) *types.Func {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), coreName)
+		if m, ok := obj.(*types.Func); ok {
+			return m
+		}
+		return nil
+	}
+	if obj, ok := pass.Pkg.Types.Scope().Lookup(coreName).(*types.Func); ok {
+		return obj
+	}
+	return nil
+}
+
+// calleeObject resolves a call's target object (function, method, or
+// builtin; nil for conversions and indirect calls).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// countStatements counts statements recursively (a branch's body counts
+// toward the wrapper's size).
+func countStatements(body *ast.BlockStmt) int {
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		if _, ok := node.(ast.Stmt); ok {
+			if _, isBlock := node.(*ast.BlockStmt); !isBlock {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,12 @@
+package batchwrap_test
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysistest"
+	"regionmon/internal/lint/batchwrap"
+)
+
+func TestBatchWrap(t *testing.T) {
+	analysistest.Run(t, ".", batchwrap.Analyzer, "wrapb")
+}

@@ -1,0 +1,110 @@
+// Package wrapb exercises the batchwrap analyzer: a conforming
+// slice-of-one wrapper, every flagged drift mode, and the doc-level
+// escape hatch.
+package wrapb
+
+type Item struct{ v int }
+
+type Fleet struct {
+	one [1]Item
+}
+
+// Push is the shape the analyzer protects: stash, one core call, return.
+//
+//lint:wraps PushBatch
+func (f *Fleet) Push(it Item) int {
+	f.one[0] = it
+	return f.PushBatch(f.one[:])
+}
+
+// PushBatch is the batch core.
+func (f *Fleet) PushBatch(items []Item) int { return len(items) }
+
+func (f *Fleet) note() {}
+
+// PushGhost names a core that does not exist.
+//
+//lint:wraps PushMany
+func (f *Fleet) PushGhost(it Item) int { // want "PushGhost declares //lint:wraps PushMany but no such method or function exists"
+	return 0
+}
+
+// PushLoop iterates instead of delegating the iteration.
+//
+//lint:wraps PushBatch
+func (f *Fleet) PushLoop(items []Item) int {
+	n := 0
+	for _, it := range items { // want "PushLoop contains a loop"
+		f.one[0] = it
+		n += f.PushBatch(f.one[:])
+	}
+	return n
+}
+
+// PushTwice hits the core twice per item.
+//
+//lint:wraps PushBatch
+func (f *Fleet) PushTwice(it Item) int {
+	f.one[0] = it
+	n := f.PushBatch(f.one[:])
+	n += f.PushBatch(f.one[:]) // want "PushTwice calls its batch core PushBatch more than once"
+	return n
+}
+
+// PushExtra does side work the batch path would never see.
+//
+//lint:wraps PushBatch
+func (f *Fleet) PushExtra(it Item) int {
+	f.note() // want "PushExtra calls note besides its batch core PushBatch"
+	f.one[0] = it
+	return f.PushBatch(f.one[:])
+}
+
+// PushAlloc allocates a fresh slice per item.
+//
+//lint:wraps PushBatch
+func (f *Fleet) PushAlloc(it Item) int {
+	return f.PushBatch(append([]Item(nil), it)) // want "PushAlloc uses builtin append"
+}
+
+// PushNever drifted off the core entirely.
+//
+//lint:wraps PushBatch
+func (f *Fleet) PushNever(it Item) int { // want "PushNever never calls its declared batch core PushBatch"
+	f.one[0] = it
+	return 1
+}
+
+// PushFat is over the statement budget.
+//
+//lint:wraps PushBatch
+func (f *Fleet) PushFat(it Item) int { // want "PushFat has 11 statements"
+	a := 1
+	b := 2
+	c := a + b
+	d := c * 2
+	e := d - 1
+	g := e + a
+	h := g * b
+	i := h - c
+	f.one[0] = it
+	_ = i
+	return f.PushBatch(f.one[:])
+}
+
+// PushLegacy is a declared exception while it migrates.
+//
+//lint:allow batchwrap -- legacy fast path, migrating in pieces
+//lint:wraps PushBatch
+func (f *Fleet) PushLegacy(it Item) int {
+	f.note()
+	return f.PushBatch(f.one[:])
+}
+
+// One wraps a package-level core.
+//
+//lint:wraps Many
+func One(x int) int { return Many([]int{x}) }
+
+// Many is the package-level batch core.
+func Many(xs []int) int { return len(xs) }

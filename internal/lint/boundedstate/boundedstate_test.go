@@ -1,0 +1,12 @@
+package boundedstate_test
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysistest"
+	"regionmon/internal/lint/boundedstate"
+)
+
+func TestBoundedState(t *testing.T) {
+	analysistest.Run(t, ".", boundedstate.Analyzer, "bounded/decl", "bounded/det")
+}

@@ -42,7 +42,6 @@ import (
 	"go/types"
 
 	"regionmon/internal/lint/analysis"
-	"regionmon/internal/lint/loader"
 )
 
 // rootNames are the hot-path entry points: the per-interval detector
@@ -77,77 +76,16 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// funcDecl pairs a declaration with its defining package.
-type funcDecl struct {
-	pkg  *loader.Package
-	decl *ast.FuncDecl
-}
-
 func run(pass *analysis.Pass) error {
 	// Index every module function once, then walk the static call graph
 	// from the roots. Diagnostics are only emitted for functions declared
 	// in the pass's own package, so the module-wide walk reports each
 	// site exactly once across the whole run.
-	index := make(map[*types.Func]funcDecl)
-	var roots []*types.Func
-	for _, pkg := range pass.Module {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				index[fn] = funcDecl{pkg: pkg, decl: fd}
-				if rootNames[fd.Name.Name] && fd.Recv != nil {
-					roots = append(roots, fn)
-				}
-			}
-		}
-	}
-
-	// BFS over static calls; remember which root reaches each function
-	// for the diagnostic message.
-	reachedVia := make(map[*types.Func]string)
-	var queue []*types.Func
-	for _, r := range roots {
-		if _, ok := reachedVia[r]; ok {
-			continue
-		}
-		fd := index[r]
-		if analysis.FuncAllows(pass.Fset, fd.decl, name) {
-			continue
-		}
-		reachedVia[r] = funcLabel(r)
-		queue = append(queue, r)
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		fd := index[fn]
-		via := reachedVia[fn]
-		for _, callee := range staticCallees(fd, index) {
-			cd := index[callee]
-			if _, seen := reachedVia[callee]; seen {
-				continue
-			}
-			if analysis.FuncAllows(pass.Fset, cd.decl, name) {
-				continue // declared cold sub-path: stop here
-			}
-			if coldNames[callee.Name()] {
-				continue // checkpointing method: cold by contract
-			}
-			reachedVia[callee] = via
-			queue = append(queue, callee)
-		}
-	}
-
-	for fn, via := range reachedVia {
-		fd := index[fn]
-		if fd.pkg != pass.Pkg {
+	ix := analysis.IndexFuncs(pass.Fset, pass.Module)
+	roots := ix.Methods(func(n string) bool { return rootNames[n] })
+	for fn, via := range ix.Reachable(roots, name, coldNames) {
+		fd, ok := ix.Decl(fn)
+		if !ok || fd.Pkg != pass.Pkg {
 			continue
 		}
 		checkBody(pass, fd, via)
@@ -155,55 +93,10 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// funcLabel renders pkg.Type.Method for diagnostics.
-func funcLabel(fn *types.Func) string {
-	sig := fn.Type().(*types.Signature)
-	if recv := sig.Recv(); recv != nil {
-		if tn := analysis.NamedOrPointee(recv.Type()); tn != nil {
-			return fn.Pkg().Name() + "." + tn.Name() + "." + fn.Name()
-		}
-	}
-	return fn.Pkg().Name() + "." + fn.Name()
-}
-
-// staticCallees resolves the function's statically-known module callees:
-// plain calls, method calls on concrete receivers, and method values.
-func staticCallees(fd funcDecl, index map[*types.Func]funcDecl) []*types.Func {
-	var out []*types.Func
-	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
-		var id *ast.Ident
-		switch e := n.(type) {
-		case *ast.CallExpr:
-			switch fun := e.Fun.(type) {
-			case *ast.Ident:
-				id = fun
-			case *ast.SelectorExpr:
-				id = fun.Sel
-			}
-		case *ast.SelectorExpr:
-			// Method/function values used as arguments still put their
-			// body on the hot path if invoked; resolving the selector
-			// covers `hpm.PCs` style uses too. Interface methods resolve
-			// to abstract funcs with no declaration and drop out below.
-			id = e.Sel
-		}
-		if id == nil {
-			return true
-		}
-		if fn, ok := fd.pkg.Info.Uses[id].(*types.Func); ok {
-			if _, inModule := index[fn]; inModule {
-				out = append(out, fn)
-			}
-		}
-		return true
-	})
-	return out
-}
-
 // checkBody flags allocating constructs in one reachable function.
-func checkBody(pass *analysis.Pass, fd funcDecl, via string) {
-	info := fd.pkg.Info
-	emptyLocals := emptySliceLocals(info, fd.decl)
+func checkBody(pass *analysis.Pass, fd analysis.FuncDecl, via string) {
+	info := fd.Pkg.Info
+	emptyLocals := emptySliceLocals(info, fd.Decl)
 	var visit func(n ast.Node) bool
 	visit = func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -251,7 +144,7 @@ func checkBody(pass *analysis.Pass, fd funcDecl, via string) {
 		}
 		return true
 	}
-	ast.Inspect(fd.decl.Body, visit)
+	ast.Inspect(fd.Decl.Body, visit)
 }
 
 func kindWord(t types.Type) string {

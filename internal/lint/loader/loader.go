@@ -14,6 +14,7 @@ package loader
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -21,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -163,6 +165,36 @@ func skipDir(name string) bool {
 	return name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata")
 }
 
+// buildTagOK evaluates the file's //go:build constraint (if any) the way
+// `go build` would on this platform: GOOS, GOARCH, and the gc toolchain
+// tag are satisfied, anything else — custom tags, other platforms — is
+// not. Files excluded here (e.g. a linux-only syscall shim on another
+// GOOS, or an `ignore`-tagged generator) would otherwise break type
+// checking with duplicate or unresolvable declarations.
+func buildTagOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		// Constraints must precede the package clause.
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: let the type checker complain
+			}
+			if !expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // LoadModule discovers and type-checks every package under the module at
 // root — the same set `go build ./...` would cover, test files excluded.
 func LoadModule(root string) (*Program, error) {
@@ -199,14 +231,17 @@ func LoadModule(root string) (*Program, error) {
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("loader: %w", err)
+		}
+		if !buildTagOK(file) {
+			return nil
+		}
 		e := entries[importPath]
 		if e == nil {
 			e = &entry{importPath: importPath, dir: dir}
 			entries[importPath] = e
-		}
-		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return fmt.Errorf("loader: %w", err)
 		}
 		e.fileNames = append(e.fileNames, path)
 		e.files = append(e.files, file)
@@ -223,6 +258,36 @@ func LoadModule(root string) (*Program, error) {
 // expected to import only the standard library).
 func LoadDir(dir, importPath string) (*Program, error) {
 	fset := token.NewFileSet()
+	e, err := dirEntry(fset, dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return checkAll(fset, map[string]*entry{importPath: e}, "")
+}
+
+// LoadDirs loads several packages laid out GOPATH-style — each import
+// path p's sources live at srcRoot/p — and type-checks them together, so
+// testdata packages may import one another by those synthetic paths (the
+// cross-package fixtures the fact-layer analyzers need: a declaring
+// package exports facts, a consuming package triggers on them).
+func LoadDirs(srcRoot string, importPaths []string) (*Program, error) {
+	fset := token.NewFileSet()
+	entries := make(map[string]*entry, len(importPaths))
+	for _, p := range importPaths {
+		if _, dup := entries[p]; dup {
+			return nil, fmt.Errorf("loader: duplicate import path %s", p)
+		}
+		e, err := dirEntry(fset, filepath.Join(srcRoot, filepath.FromSlash(p)), p)
+		if err != nil {
+			return nil, err
+		}
+		entries[p] = e
+	}
+	return checkAll(fset, entries, "")
+}
+
+// dirEntry parses one directory's non-test, build-tag-satisfying files.
+func dirEntry(fset *token.FileSet, dir, importPath string) (*entry, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil {
 		return nil, err
@@ -237,13 +302,16 @@ func LoadDir(dir, importPath string) (*Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("loader: %w", err)
 		}
+		if !buildTagOK(file) {
+			continue
+		}
 		e.fileNames = append(e.fileNames, name)
 		e.files = append(e.files, file)
 	}
 	if len(e.files) == 0 {
 		return nil, fmt.Errorf("loader: no Go files in %s", dir)
 	}
-	return checkAll(fset, map[string]*entry{importPath: e}, "")
+	return e, nil
 }
 
 // checkAll type-checks every discovered entry and assembles the Program.

@@ -1,0 +1,130 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module: files maps relative paths to
+// contents; a go.mod naming the module is added automatically.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.com/tagged\n\ngo 1.24\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadModuleSkipsExcludedBuildTags pins the build-constraint
+// behaviour: a file gated on a custom tag (or another platform) must not
+// reach the type checker — here it would collide with a declaration in
+// the kept file — while a file gated on the current GOOS must load.
+func TestLoadModuleSkipsExcludedBuildTags(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a.go": "package tagged\n\nfunc Kept() int { return 1 }\n",
+		"a_gen.go": "//go:build generate_only\n\n" +
+			"package tagged\n\nfunc Kept() int { return 2 }\n",
+		"a_host.go": "//go:build " + runtime.GOOS + "\n\n" +
+			"package tagged\n\nfunc Host() int { return 3 }\n",
+	})
+	prog, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(prog.Packages))
+	}
+	pkg := prog.Packages[0]
+	var names []string
+	for _, fn := range pkg.FileNames {
+		names = append(names, filepath.Base(fn))
+	}
+	got := strings.Join(names, " ")
+	if strings.Contains(got, "a_gen.go") {
+		t.Errorf("tag-excluded file loaded: %s", got)
+	}
+	if !strings.Contains(got, "a_host.go") {
+		t.Errorf("GOOS-satisfied file not loaded: %s", got)
+	}
+	if pkg.Types.Scope().Lookup("Host") == nil {
+		t.Error("Host not type-checked from the GOOS-tagged file")
+	}
+}
+
+// TestLoadModuleSkipsAllTagExcludedPackage: a package whose every file is
+// tag-excluded must vanish entirely — no empty entry handed to the type
+// checker, and no type checking of the excluded sources (the fixture
+// would fail it).
+func TestLoadModuleSkipsAllTagExcludedPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a.go": "package tagged\n",
+		"gen/gen.go": "//go:build never_set\n\n" +
+			"package gen\n\nvar Broken = undefinedSymbol\n",
+	})
+	prog, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Packages {
+		if strings.HasSuffix(pkg.ImportPath, "/gen") {
+			t.Fatalf("all-excluded package loaded as %s with %d files", pkg.ImportPath, len(pkg.Files))
+		}
+	}
+}
+
+// TestLoadModuleExcludesTestFiles: _test.go files are outside the
+// loader's contract (they may use a _test package name and test-only
+// imports); a deliberately unparsable one must be ignored, not reported.
+func TestLoadModuleExcludesTestFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a.go":      "package tagged\n\nfunc Kept() int { return 1 }\n",
+		"a_test.go": "package tagged !! not even Go\n",
+	})
+	prog, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range prog.Packages[0].FileNames {
+		if strings.HasSuffix(fn, "_test.go") {
+			t.Errorf("test file loaded: %s", fn)
+		}
+	}
+}
+
+// TestLoadModuleReportsTypeError: a package that does not type-check must
+// come back as an error naming the package, never a panic and never a
+// half-checked Program.
+func TestLoadModuleReportsTypeError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a.go":        "package tagged\n",
+		"broken/b.go": "package broken\n\nfunc F() int { return \"not an int\" }\n",
+		"importer/i.go": "package importer\n\n" +
+			"import \"example.com/tagged/broken\"\n\nvar _ = broken.F\n",
+	})
+	prog, err := LoadModule(root)
+	if err == nil {
+		t.Fatalf("type error not reported; loaded %d packages", len(prog.Packages))
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not name the failing package: %v", err)
+	}
+}
+
+// TestLoadDirsRejectsDuplicatePaths pins the multi-package entry point's
+// duplicate guard.
+func TestLoadDirsRejectsDuplicatePaths(t *testing.T) {
+	if _, err := LoadDirs(t.TempDir(), []string{"p", "p"}); err == nil {
+		t.Fatal("duplicate import path accepted")
+	}
+}

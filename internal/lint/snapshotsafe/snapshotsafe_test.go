@@ -1,0 +1,16 @@
+package snapshotsafe_test
+
+import (
+	"testing"
+
+	"regionmon/internal/lint/analysistest"
+	"regionmon/internal/lint/snapshotsafe"
+)
+
+func TestSnapshotSafe(t *testing.T) {
+	analysistest.Run(t, ".", snapshotsafe.Analyzer, "snapsafe")
+}
+
+func TestSnapshotSafeNoPair(t *testing.T) {
+	analysistest.Run(t, ".", snapshotsafe.Analyzer, "snapsafenopair")
+}

@@ -1,0 +1,8 @@
+// Package snapsafenopair holds a //lint:snapshot type in a package with
+// no snapshot method pair at all: the mark is a promise nothing keeps.
+package snapsafenopair
+
+//lint:snapshot
+type Orphan struct { // want "Orphan marked //lint:snapshot but package snapsafenopair defines no snapshot method pair"
+	x int
+}

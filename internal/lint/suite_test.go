@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"os"
+	"testing"
+
+	"regionmon/internal/lint"
+)
+
+// infrastructure are the non-analyzer directories under internal/lint.
+var infrastructure = map[string]bool{
+	"analysis":     true,
+	"analysistest": true,
+	"loader":       true,
+}
+
+// TestSuiteCoversAllAnalyzerDirs derives the expected analyzer set from
+// the filesystem: every analyzer package under internal/lint must be
+// registered in Suite() under its directory name, so a new analyzer
+// cannot be written and then silently left out of CI.
+func TestSuiteCoversAllAnalyzerDirs(t *testing.T) {
+	registered := make(map[string]bool)
+	for _, a := range lint.Suite() {
+		if registered[a.Name] {
+			t.Errorf("Suite() registers analyzer %q twice", a.Name)
+		}
+		registered[a.Name] = true
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := 0
+	for _, e := range entries {
+		if !e.IsDir() || infrastructure[e.Name()] {
+			continue
+		}
+		dirs++
+		if !registered[e.Name()] {
+			t.Errorf("analyzer directory %q is not registered in Suite(); add it so CI runs it", e.Name())
+		}
+	}
+	if len(lint.Suite()) != dirs {
+		t.Errorf("Suite() has %d analyzers but internal/lint has %d analyzer directories", len(lint.Suite()), dirs)
+	}
+}

@@ -171,8 +171,8 @@ type Verdict struct {
 // Detector is one region's local phase detector. Not safe for concurrent
 // use.
 type Detector struct {
-	cfg    Config
-	rt     float64 // effective threshold (size-scaled once at creation)
+	cfg    Config  //lint:config -- fixed at construction
+	rt     float64 //lint:config -- effective threshold (size-scaled once at creation)
 	n      int     // instructions in region
 	ref    []int64 // prev_hist: the stable set of samples
 	hasRef bool
@@ -185,14 +185,14 @@ type Detector struct {
 
 	// topk is the reusable working storage for the top-k metric, sized at
 	// construction so Observe stays allocation-free (nil for other metrics).
-	topk *stats.TopKScratch
+	topk *stats.TopKScratch //lint:config -- reusable scratch, no observation state
 
 	// pref caches the reference histogram's float conversion and moments
 	// for the Pearson metric (nil for other metrics): the reference side
 	// of the correlation changes only when the reference is re-established,
 	// so Observe makes one fused pass over curr instead of recomputing
 	// both sides (see stats.PearsonRef). Kept in sync with ref by setRef.
-	pref *stats.PearsonRef
+	pref *stats.PearsonRef //lint:config -- derived cache, re-synced by setRef on restore
 }
 
 // New returns a detector for a region of numInstrs instructions.

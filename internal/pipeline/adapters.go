@@ -30,8 +30,8 @@ const (
 //lint:single-owner
 type GPD struct {
 	det  *gpd.Detector
-	name string
-	pcs  []uint64 // scratch, reused across intervals
+	name string   //lint:config -- fixed at construction
+	pcs  []uint64 //lint:config -- scratch, reused across intervals
 	last gpd.Verdict
 }
 
@@ -77,8 +77,8 @@ func (g *GPD) ObserveInterval(ov *hpm.Overflow) Verdict {
 //lint:single-owner
 type RegionMonitor struct {
 	mon  *region.Monitor
-	name string
-	last region.Report
+	name string        //lint:config -- fixed at construction
+	last region.Report //lint:config -- aliases monitor-owned scratch; rebuilt next interval
 
 	stableW float64 // sample-weighted locally-stable accumulation
 	totalW  float64
@@ -166,7 +166,7 @@ type altDetector interface {
 //lint:single-owner
 type Alt struct {
 	det  altDetector
-	name string
+	name string //lint:config -- fixed at construction
 	last altdetect.Verdict
 }
 
@@ -210,8 +210,8 @@ func (a *Alt) ObserveInterval(ov *hpm.Overflow) Verdict {
 //lint:single-owner
 type Perf struct {
 	tr     *gpd.PerfTracker
-	name   string
-	metric func(*hpm.Overflow) float64
+	name   string                      //lint:config -- fixed at construction
+	metric func(*hpm.Overflow) float64 //lint:config -- fixed at construction
 	last   gpd.PerfVerdict
 }
 

@@ -101,7 +101,7 @@ type IntervalReport struct {
 	// Cycle is the absolute cycle at the end of the interval.
 	Cycle uint64
 	// Verdicts holds one entry per registered detector.
-	Verdicts []Verdict
+	Verdicts []Verdict //lint:bounded -- reset per interval; one entry per detector
 }
 
 // Verdict returns the named detector's verdict in this report, or nil.
@@ -125,10 +125,10 @@ type Observer func(*IntervalReport)
 type Pipeline struct {
 	dets      []PhaseDetector
 	stats     []DetectorStats
-	byName    map[string]int
-	observers []Observer
-	rep       IntervalReport   // reused across intervals
-	one       [1]*hpm.Overflow // scratch backing the per-item ProcessOverflow wrapper
+	byName    map[string]int   //lint:config -- derived from dets at construction
+	observers []Observer       //lint:config -- wiring, not observation state
+	rep       IntervalReport   //lint:config -- per-interval scratch, reused across intervals
+	one       [1]*hpm.Overflow //lint:config -- scratch backing the per-item ProcessOverflow wrapper
 	intervals int
 }
 
@@ -217,6 +217,8 @@ func (p *Pipeline) Handler() func(*hpm.Overflow) {
 // hpm overflow callback:
 //
 //	mon, _ := hpm.New(cfg, func(ov *hpm.Overflow) { pipe.ProcessOverflow(ov) })
+//
+//lint:wraps ObserveBatch
 func (p *Pipeline) ProcessOverflow(ov *hpm.Overflow) *IntervalReport {
 	p.one[0] = ov
 	p.ObserveBatch(p.one[:])

@@ -278,9 +278,9 @@ type Report struct {
 	// NewRegions lists regions formed this interval.
 	NewRegions []*Region
 	// Pruned lists regions removed this interval.
-	Pruned []*Region
+	Pruned []*Region //lint:bounded -- reset per interval; at most one entry per region
 	// Verdicts holds one entry per monitored region, in region-ID order.
-	Verdicts []RegionVerdict
+	Verdicts []RegionVerdict //lint:bounded -- reset per interval onto verdictScratch; one entry per region
 }
 
 // Monitor is the region monitoring framework. Single-owner: the
@@ -289,35 +289,38 @@ type Report struct {
 //
 //lint:single-owner
 type Monitor struct {
-	prog *isa.Program
-	cfg  Config
+	prog *isa.Program //lint:config -- fixed at construction
+	cfg  Config       //lint:config -- fixed at construction
 
 	regions map[int]*Region
-	index   interval.Index
+	// index is rebuilt from regions on restore, never serialized.
+	index interval.Index //lint:config
 	// epoch is non-nil exactly when index is the epoch snapshot; its
 	// closure-free Lookup enables the count-compressed batch path.
-	epoch *interval.Epoch
+	epoch *interval.Epoch //lint:config -- derived view of index
 	// sortedIDs holds the monitored region IDs ascending, maintained
 	// incrementally (AddRegion assigns monotonically increasing IDs, so
 	// insertion is an append; removal copies down in place). It replaces
 	// the per-interval collect-and-sort over the regions map.
-	sortedIDs []int
+	sortedIDs []int //lint:config -- derived from regions; rebuilt on restore
 	nextID    int
 	seq       int
 
 	ucr       *stats.Series
-	loopCount map[*isa.Loop]int // scratch for formation
+	loopCount map[*isa.Loop]int //lint:config -- scratch for formation
 
 	// Per-interval scratch, reused across ProcessOverflow calls so the
 	// monitoring hot path stays allocation-free in steady state.
-	runs           *stats.RunScratch // count-compression scratch (epoch path)
-	keyScratch     []uint64          // sample PCs as radix keys (epoch path)
-	ucrScratch     []isa.Addr        // UCR PCs of the current interval
-	idScratch      []int             // sorted region IDs
-	verdictScratch []RegionVerdict   // backing array for Report.Verdicts
-	stabPC         isa.Addr          // current sample PC for stabVisit
-	stabHit        bool              // current sample landed in a region
-	stabVisit      func(id int)      // distribution callback (built once)
+	runs       *stats.RunScratch //lint:config -- count-compression scratch (epoch path)
+	keyScratch []uint64          //lint:config -- sample PCs as radix keys (epoch path)
+	ucrScratch []isa.Addr        //lint:config -- UCR PCs of the current interval
+	// idScratch holds the sorted region IDs the verdict loop iterates.
+	//lint:bounded -- reused via [:0]; one entry per region
+	idScratch      []int           //lint:config
+	verdictScratch []RegionVerdict //lint:config -- backing array for Report.Verdicts
+	stabPC         isa.Addr        //lint:config -- current sample PC for stabVisit
+	stabHit        bool            //lint:config -- current sample landed in a region
+	stabVisit      func(id int)    //lint:config -- distribution callback (built once)
 }
 
 // NewMonitor returns a monitor for prog.
@@ -633,7 +636,7 @@ func (m *Monitor) distributeBatched(ov *hpm.Overflow, rep *Report) []isa.Addr {
 // event, not per-interval work — so it is free to allocate (new regions,
 // their detectors, histogram storage).
 //
-//lint:allow hotpath -- region formation is a declared cold sub-path
+//lint:allow hotpath boundedstate -- region formation is a declared cold sub-path, capped by cfg.MaxRegions
 func (m *Monitor) formRegions(ucrPCs []isa.Addr) []*Region {
 	clear(m.loopCount)
 	for _, pc := range ucrPCs {

@@ -276,6 +276,8 @@ const phaseLen = 160
 // aliases the generator's reusable sample buffer: consume (or copy) it
 // before requesting the next interval. Per-item wrapper over
 // IntervalInto.
+//
+//lint:wraps IntervalInto
 func (g *Workload) Interval(i int) *hpm.Overflow {
 	return g.IntervalInto(i, &g.ov)
 }

@@ -19,7 +19,7 @@ package stats
 // RunScratch is construction-time working storage for count-compressing
 // sample buffers. Like the detectors that own one, it is single-owner.
 type RunScratch struct {
-	keys   []uint64
+	keys   []uint64 //lint:bounded -- reused via [:0]; tracks the largest batch seen
 	tmp    []uint64
 	hist   [256]int32
 	pcs    []uint64

@@ -24,10 +24,10 @@ import (
 // mode for experiments and figure generation). Append is allocation-free
 // in bounded mode, making it safe on detector hot paths.
 type Series struct {
-	buf       []float64
-	head      int   // next write position (bounded mode)
-	n         int   // live observations (bounded mode; unbounded uses len(buf))
-	total     int64 // observations ever appended
+	buf       []float64 //lint:bounded -- ring in bounded mode; unbounded is an explicit experiment opt-in
+	head      int       // next write position (bounded mode)
+	n         int       // live observations (bounded mode; unbounded uses len(buf))
+	total     int64     // observations ever appended
 	sum       float64
 	unbounded bool
 }

@@ -57,15 +57,15 @@ type SystemStats struct {
 //
 //lint:single-owner
 type System struct {
-	prog *Program
+	prog *Program //lint:config -- fixed at construction
 
-	exec *sim.Executor
-	mon  *hpm.Monitor
+	exec *sim.Executor //lint:config -- owns no snapshot state of its own
+	mon  *hpm.Monitor  //lint:config -- snapshotted through pipe's detector set
 	pipe *pipeline.Pipeline
-	ga   *pipeline.GPD
-	ra   *pipeline.RegionMonitor
+	ga   *pipeline.GPD           //lint:config -- aliases a pipe-owned detector
+	ra   *pipeline.RegionMonitor //lint:config -- aliases a pipe-owned detector
 
-	legacySlot int // pipeline observer slot backing Observe; -1 when unused
+	legacySlot int //lint:config -- pipeline observer slot backing Observe; -1 when unused
 }
 
 // SystemConfig bundles a System's tunables; the zero value of each field
