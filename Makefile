@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race race-hot bench benchingest ingest-smoke ingest-batch-smoke benchregion region-smoke soak soak-short check
+.PHONY: all build vet lint test race race-hot bench benchingest ingest-smoke ingest-batch-smoke benchregion region-smoke benchwatch benchwatch-smoke soak soak-short check
 
 all: check
 
@@ -74,6 +74,21 @@ benchregion:
 region-smoke:
 	$(GO) run ./cmd/benchregion -smoke > /dev/null
 
+# Perf-regression gate (cmd/benchwatch): run the E-divisive change-point
+# engine over the committed BENCH_*.json trajectory (every committed
+# version plus the working tree) and fail when a regime change lands on
+# the latest PR. Tolerates short or shallow history by passing
+# vacuously, so it is safe in `make check` from day one.
+benchwatch:
+	$(GO) run ./cmd/benchwatch
+
+# Benchwatch smoke: the injected-step fixture must gate (nonzero exit)
+# and the flat fixture must pass — proving the gate can actually fire
+# before we trust its silence.
+benchwatch-smoke:
+	! $(GO) run ./cmd/benchwatch -series cmd/benchwatch/testdata/step.json > /dev/null
+	$(GO) run ./cmd/benchwatch -series cmd/benchwatch/testdata/flat.json > /dev/null
+
 # Long-run hardening harness (cmd/soak): millions of intervals through
 # the full detector stack, asserting a steady heap and byte-identical
 # verdict streams across mid-run kill/restore — first single-stream, then
@@ -86,4 +101,4 @@ soak:
 soak-short:
 	$(GO) run ./cmd/soak -intervals 60000
 
-check: build lint test bench ingest-smoke ingest-batch-smoke region-smoke soak-short
+check: build lint test bench ingest-smoke ingest-batch-smoke region-smoke benchwatch benchwatch-smoke soak-short

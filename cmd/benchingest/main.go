@@ -322,8 +322,7 @@ func buildReport(profiles []workloadReport, batch int, mode, scale string, reps 
 						}
 					}
 				}
-				sort.Float64s(times)
-				secs := times[len(times)/2]
+				secs := median(times)
 				if soloSecs == 0 {
 					soloSecs = secs
 				}
@@ -363,6 +362,19 @@ func buildReport(profiles []workloadReport, batch int, mode, scale string, reps 
 		return &rep, fmt.Errorf("per-stream digests differ across runs; throughput numbers withheld")
 	}
 	return &rep, nil
+}
+
+// median sorts times in place and returns their median. With an even
+// count the two middle repetitions are averaged; picking one of them
+// (the old behavior) biased every even -reps run toward its slower
+// middle sample.
+func median(times []float64) float64 {
+	sort.Float64s(times)
+	n := len(times)
+	if n%2 == 1 {
+		return times[n/2]
+	}
+	return (times[n/2-1] + times[n/2]) / 2
 }
 
 func fatal(err error) {

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+// TestMedianEvenReps pins the even-count fix: the two middle repetitions
+// are averaged instead of reporting the upper-middle one.
+func TestMedianEvenReps(t *testing.T) {
+	cases := []struct {
+		name  string
+		times []float64
+		want  float64
+	}{
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"even-unsorted", []float64{10, 2}, 6},
+		{"single", []float64{7}, 7},
+		{"even-equal-middles", []float64{1, 5, 5, 9}, 5},
+	}
+	for _, c := range cases {
+		if got := median(c.times); got != c.want {
+			t.Errorf("%s: median(%v) = %v, want %v", c.name, c.times, got, c.want)
+		}
+	}
+}
+
+// TestBuildReportMedianReps drives buildReport end-to-end on a tiny
+// deterministic workload with an even repetition count: the digests must
+// agree across reps and the reported Seconds must be a valid median of
+// the measured repetitions (in particular, finite and positive).
+func TestBuildReportMedianReps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real ingest fleet")
+	}
+	profiles := []workloadReport{{
+		Name: "tiny",
+		Spec: workloadSpec{Streams: 2, IntervalsPerStream: 8, SamplesPerInterval: 8},
+	}}
+	rep, err := buildReport(profiles, 4, "perpush", "quick", 2, []int{1}, nil)
+	if err != nil {
+		t.Fatalf("buildReport: %v", err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("tiny workload digests differ across repetitions")
+	}
+	if rep.Reps != 2 || len(rep.Workloads) != 1 || len(rep.Workloads[0].Runs) != 1 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	r := rep.Workloads[0].Runs[0]
+	if r.Seconds <= 0 || r.IntervalsSec <= 0 {
+		t.Errorf("run timing not positive: %+v", r)
+	}
+}

@@ -1,0 +1,358 @@
+// Command benchwatch is the perf-regression gate: it dogfoods the
+// E-divisive change-point engine (internal/changepoint) over the repo's
+// own committed benchmark trajectory. Each BENCH_*.json file is read at
+// every commit that touched it (plus the working tree, when it differs),
+// every numeric leaf becomes one metric series across those versions,
+// and the offline engine tests each series for distributional shifts.
+// When a confirmed change point's new regime starts within the last
+// -min-segment versions — the earliest a shift is statistically
+// attributable — the shift "lands on the latest PR": benchwatch prints a
+// readable report and exits nonzero, turning the perf history into a
+// CI-checked invariant like the digest and lint gates.
+//
+// Everything is deterministic: the permutation PRNG is seeded from
+// -seed and the metric name, metric names sort lexicographically, and
+// two runs over the same history emit byte-identical reports.
+//
+// A repository with too little history (or a shallow CI checkout) is
+// reported and passes: a gate that cannot see the trajectory must not
+// invent a verdict about it.
+//
+// Usage:
+//
+//	go run ./cmd/benchwatch                     # gate the checked-in BENCH files
+//	go run ./cmd/benchwatch -series series.json # gate explicit series (smoke tests)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"regionmon/internal/changepoint"
+)
+
+func main() {
+	var (
+		repo    = flag.String("repo", ".", "repository root holding the trajectory files")
+		files   = flag.String("files", "BENCH_pipeline.json,BENCH_ingest.json,BENCH_region.json", "comma-separated trajectory files (paths relative to -repo)")
+		series  = flag.String("series", "", "JSON file of explicit metric series ({\"name\": [values...]}); bypasses git history")
+		perms   = flag.Int("permutations", 199, "permutations per significance test")
+		alpha   = flag.Float64("alpha", 0.05, "significance level for a change point")
+		minSeg  = flag.Int("min-segment", 3, "minimum observations per regime (and the freshness window of the gate)")
+		seed    = flag.Uint64("seed", 1, "base PRNG seed (per-metric seeds derive from it)")
+		verbose = flag.Bool("v", false, "also report change points that predate the freshness window")
+	)
+	flag.Parse()
+
+	cfg := changepoint.EngineConfig{Permutations: *perms, Alpha: *alpha, MinSegment: *minSeg}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	var (
+		tr  *trajectory
+		err error
+	)
+	if *series != "" {
+		tr, err = loadSeriesFile(*series)
+	} else {
+		tr, err = loadGitTrajectory(*repo, strings.Split(*files, ","))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	report, regressed := watch(tr, cfg, *seed, *verbose)
+	os.Stdout.WriteString(report)
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchwatch:", err)
+	os.Exit(2)
+}
+
+// trajectory is the assembled input: named metric series, each a value
+// per version oldest-first, plus human-readable provenance notes.
+type trajectory struct {
+	names  []string             // sorted metric names
+	series map[string][]float64 // values per version, oldest first
+	latest map[string]bool      // metric present in the newest version
+	notes  []string             // provenance lines for the report header
+}
+
+// watch runs the engine over every series and renders the gate report.
+// It returns the report text and whether a fresh change point fired the
+// gate. A series gates only when its newest observation comes from the
+// newest version: a metric that vanished from the current schema cannot
+// indict the current PR.
+func watch(tr *trajectory, cfg changepoint.EngineConfig, seed uint64, verbose bool) (string, bool) {
+	var b strings.Builder
+	b.WriteString("benchwatch: perf-trajectory change-point gate\n")
+	for _, n := range tr.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+
+	minPoints := 2 * cfg.MinSegment
+	tested, fresh, stale := 0, 0, 0
+	var body strings.Builder
+	for _, name := range tr.names {
+		xs := tr.series[name]
+		if len(xs) < minPoints {
+			continue
+		}
+		tested++
+		cps, err := changepoint.Detect(xs, seed^fnv64(name), cfg)
+		if err != nil {
+			// Config was validated up front; a per-series failure is a bug.
+			fmt.Fprintf(&b, "  ERROR %s: %v\n", name, err)
+			continue
+		}
+		for _, cp := range cps {
+			isFresh := tr.latest[name] && cp.Index >= len(xs)-cfg.MinSegment
+			if isFresh {
+				fresh++
+				fmt.Fprintf(&body, "  REGRESSION %s\n", name)
+			} else {
+				stale++
+				if !verbose {
+					continue
+				}
+				fmt.Fprintf(&body, "  earlier shift %s\n", name)
+			}
+			fmt.Fprintf(&body, "    regime change at version %d/%d (p=%.3f, stat=%.4g): median %.6g -> %.6g\n",
+				cp.Index, len(xs), cp.PValue, cp.Stat, median(xs[:cp.Index]), median(xs[cp.Index:]))
+		}
+	}
+
+	fmt.Fprintf(&b, "  %d series, %d with enough history (>= %d points)\n", len(tr.names), tested, minPoints)
+	b.WriteString(body.String())
+	switch {
+	case fresh > 0:
+		fmt.Fprintf(&b, "FAIL: %d change point(s) land on the latest PR\n", fresh)
+	case tested == 0:
+		b.WriteString("ok: not enough trajectory history to test (gate passes vacuously)\n")
+	default:
+		fmt.Fprintf(&b, "ok: no change point lands on the latest PR (%d earlier shift(s) on record)\n", stale)
+	}
+	return b.String(), fresh > 0
+}
+
+// median returns the median of xs without reordering it.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if len(c)%2 == 1 {
+		return c[len(c)/2]
+	}
+	return (c[len(c)/2-1] + c[len(c)/2]) / 2
+}
+
+// fnv64 hashes a metric name so every series gets its own deterministic
+// permutation stream.
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
+}
+
+// loadGitTrajectory assembles the trajectory from git history: for each
+// file, every committed version oldest-first plus the working tree when
+// it differs from HEAD's copy. Git failures (no repository, shallow
+// checkout with no file history) become provenance notes, not errors —
+// the gate passes vacuously on what it cannot see.
+func loadGitTrajectory(repo string, files []string) (*trajectory, error) {
+	tr := &trajectory{series: map[string][]float64{}, latest: map[string]bool{}}
+	for _, file := range files {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		versions, note := fileVersions(repo, file)
+		tr.notes = append(tr.notes, note)
+		mergeVersions(tr, file, versions)
+	}
+	finishTrajectory(tr)
+	return tr, nil
+}
+
+// fileVersions returns each parsed version of one file oldest-first and
+// a provenance note describing what was found.
+func fileVersions(repo, file string) ([]map[string]float64, string) {
+	hashes, err := gitLines(repo, "log", "--format=%H", "--reverse", "--", file)
+	if err != nil {
+		return nil, fmt.Sprintf("%s: git history unavailable (%v)", file, err)
+	}
+	var versions []map[string]float64
+	var lastRaw []byte
+	skipped := 0
+	for _, h := range hashes {
+		raw, err := exec.Command("git", "-C", repo, "show", h+":"+file).Output()
+		if err != nil {
+			skipped++ // commit touched the path without a readable blob (e.g. deletion)
+			continue
+		}
+		flat, err := flattenJSON(raw)
+		if err != nil {
+			skipped++
+			continue
+		}
+		versions = append(versions, flat)
+		lastRaw = raw
+	}
+	// The working tree is the PR under test: include it when it differs
+	// from the newest committed version.
+	if raw, err := os.ReadFile(filepath.Join(repo, file)); err == nil && string(raw) != string(lastRaw) {
+		if flat, err := flattenJSON(raw); err == nil {
+			versions = append(versions, flat)
+		} else {
+			skipped++
+		}
+	}
+	note := fmt.Sprintf("%s: %d version(s) from %d commit(s)", file, len(versions), len(hashes))
+	if skipped > 0 {
+		note += fmt.Sprintf(", %d unreadable skipped", skipped)
+	}
+	return versions, note
+}
+
+func gitLines(repo string, args ...string) ([]string, error) {
+	out, err := exec.Command("git", append([]string{"-C", repo}, args...)...).Output()
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, l := range strings.Split(string(out), "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
+}
+
+// mergeVersions folds one file's versions into the trajectory, prefixing
+// every metric with the file name. A metric absent from some versions
+// contributes only the versions that carry it (schema drift across PRs
+// must not sever the series that survived the change).
+func mergeVersions(tr *trajectory, file string, versions []map[string]float64) {
+	for vi, flat := range versions {
+		keys := make([]string, 0, len(flat))
+		for k := range flat {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			name := file + " :: " + k
+			tr.series[name] = append(tr.series[name], flat[k])
+			tr.latest[name] = vi == len(versions)-1
+		}
+	}
+}
+
+// finishTrajectory derives the sorted name index once all series are in.
+func finishTrajectory(tr *trajectory) {
+	tr.names = tr.names[:0]
+	for name := range tr.series {
+		tr.names = append(tr.names, name)
+	}
+	sort.Strings(tr.names)
+}
+
+// loadSeriesFile reads explicit metric series from a JSON object of
+// {"name": [values...]} — the smoke-test entry that needs no git
+// history. Every series counts as present in the latest version.
+func loadSeriesFile(path string) (*trajectory, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in map[string][]float64
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	tr := &trajectory{series: in, latest: map[string]bool{}}
+	for name := range in {
+		tr.latest[name] = true
+	}
+	finishTrajectory(tr)
+	tr.notes = append(tr.notes, fmt.Sprintf("%s: %d explicit series", path, len(tr.names)))
+	return tr, nil
+}
+
+// flattenJSON parses one trajectory file version and flattens every
+// numeric leaf into a path-named metric. Array elements that are objects
+// are labeled by their identifying fields (name, mode, shards, ...) so a
+// series survives reordering and insertion; bare values fall back to
+// their index.
+func flattenJSON(raw []byte) (map[string]float64, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	flatten("", v, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case float64:
+		out[prefix] = x
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, x[k], out)
+		}
+	case []any:
+		for i, e := range x {
+			flatten(prefix+"["+arrayLabel(i, e)+"]", e, out)
+		}
+	}
+	// Strings and bools carry no trajectory; ignore.
+}
+
+// labelKeys are the fields that identify an element within a trajectory
+// file's run arrays, in label order.
+var labelKeys = []string{"name", "mode", "index", "workers", "shards", "batch", "regions"}
+
+func arrayLabel(i int, e any) string {
+	obj, ok := e.(map[string]any)
+	if !ok {
+		return strconv.Itoa(i)
+	}
+	var parts []string
+	for _, k := range labelKeys {
+		switch val := obj[k].(type) {
+		case string:
+			parts = append(parts, k+"="+val)
+		case float64:
+			parts = append(parts, fmt.Sprintf("%s=%v", k, val))
+		}
+	}
+	if len(parts) == 0 {
+		return strconv.Itoa(i)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"regionmon/internal/changepoint"
+)
+
+func gateCfg() changepoint.EngineConfig {
+	return changepoint.EngineConfig{Permutations: 199, Alpha: 0.05, MinSegment: 3}
+}
+
+// steppedTrajectory builds one series flat at base with the last
+// stepLen points shifted to base*mul.
+func steppedTrajectory(name string, n, stepLen int, base, mul float64) *trajectory {
+	jitter := []float64{0.002, -0.002, 0.001, -0.001, 0.003, -0.003, 0}
+	xs := make([]float64, n)
+	for i := range xs {
+		b := base
+		if i >= n-stepLen {
+			b = base * mul
+		}
+		xs[i] = b + jitter[i%len(jitter)]
+	}
+	tr := &trajectory{
+		series: map[string][]float64{name: xs},
+		latest: map[string]bool{name: true},
+	}
+	finishTrajectory(tr)
+	return tr
+}
+
+func TestWatchGatesOnFreshStep(t *testing.T) {
+	tr := steppedTrajectory("pipe.seconds", 24, 3, 1.0, 1.5)
+	report, regressed := watch(tr, gateCfg(), 1, false)
+	if !regressed {
+		t.Fatalf("50%% step in the last 3 versions did not gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION pipe.seconds") || !strings.Contains(report, "FAIL") {
+		t.Errorf("report missing regression lines:\n%s", report)
+	}
+	if !strings.Contains(report, "regime change at version 21/24") {
+		t.Errorf("report misplaces the change point:\n%s", report)
+	}
+}
+
+func TestWatchQuietOnSteadyTrajectory(t *testing.T) {
+	tr := steppedTrajectory("pipe.seconds", 24, 0, 1.0, 1)
+	report, regressed := watch(tr, gateCfg(), 1, false)
+	if regressed {
+		t.Fatalf("steady trajectory gated:\n%s", report)
+	}
+	if !strings.Contains(report, "ok: no change point") {
+		t.Errorf("report missing ok line:\n%s", report)
+	}
+}
+
+// TestWatchOldShiftDoesNotGate: a regime change that completed well
+// before the freshness window is history, not a verdict on this PR.
+func TestWatchOldShiftDoesNotGate(t *testing.T) {
+	tr := steppedTrajectory("pipe.seconds", 24, 10, 1.0, 1.5)
+	report, regressed := watch(tr, gateCfg(), 1, false)
+	if regressed {
+		t.Fatalf("10-version-old shift gated the latest PR:\n%s", report)
+	}
+	if !strings.Contains(report, "1 earlier shift(s)") {
+		t.Errorf("old shift not recorded:\n%s", report)
+	}
+	// Verbose mode names it.
+	verboseRep, _ := watch(tr, gateCfg(), 1, true)
+	if !strings.Contains(verboseRep, "earlier shift pipe.seconds") {
+		t.Errorf("verbose report missing the earlier shift:\n%s", verboseRep)
+	}
+}
+
+// TestWatchStaleMetricDoesNotGate: a series absent from the newest
+// version cannot indict the latest PR, however fresh its shift looks.
+func TestWatchStaleMetricDoesNotGate(t *testing.T) {
+	tr := steppedTrajectory("gone.seconds", 24, 3, 1.0, 1.5)
+	tr.latest["gone.seconds"] = false
+	if report, regressed := watch(tr, gateCfg(), 1, false); regressed {
+		t.Fatalf("metric missing from the latest version gated:\n%s", report)
+	}
+}
+
+func TestWatchVacuousOnShortHistory(t *testing.T) {
+	tr := steppedTrajectory("pipe.seconds", 4, 2, 1.0, 2)
+	report, regressed := watch(tr, gateCfg(), 1, false)
+	if regressed {
+		t.Fatalf("4-point history gated:\n%s", report)
+	}
+	if !strings.Contains(report, "vacuously") {
+		t.Errorf("short history not reported as vacuous:\n%s", report)
+	}
+}
+
+// TestWatchDeterministic: the report is byte-identical across runs —
+// the property that lets CI diff two gate outputs.
+func TestWatchDeterministic(t *testing.T) {
+	tr := steppedTrajectory("pipe.seconds", 24, 3, 1.0, 1.5)
+	tr.series["ingest.seconds"] = tr.series["pipe.seconds"]
+	tr.latest["ingest.seconds"] = true
+	finishTrajectory(tr)
+	a, ra := watch(tr, gateCfg(), 7, true)
+	b, rb := watch(tr, gateCfg(), 7, true)
+	if a != b || ra != rb {
+		t.Fatalf("two identical watch runs diverged:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestFlattenJSONLabelsAndLeaves(t *testing.T) {
+	raw := []byte(`{
+		"scale": "quick",
+		"machine": {"cpus": 4},
+		"deterministic": true,
+		"runs": [
+			{"mode": "per-push", "shards": 1, "seconds": 1.5},
+			{"mode": "batched", "shards": 4, "seconds": 0.75}
+		],
+		"bare": [10, 20]
+	}`)
+	flat, err := flattenJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"machine.cpus":                         4,
+		"runs[mode=per-push,shards=1].seconds": 1.5,
+		"runs[mode=per-push,shards=1].shards":  1,
+		"runs[mode=batched,shards=4].seconds":  0.75,
+		"runs[mode=batched,shards=4].shards":   4,
+		"bare[0]":                              10,
+		"bare[1]":                              20,
+	}
+	if len(flat) != len(want) {
+		t.Fatalf("flattened to %d leaves, want %d: %v", len(flat), len(want), flat)
+	}
+	for k, v := range want {
+		if flat[k] != v {
+			t.Errorf("flat[%q] = %v, want %v", k, flat[k], v)
+		}
+	}
+}
+
+// TestMergeVersionsSchemaDrift: a metric that appears in only some
+// versions contributes exactly those versions, and only metrics in the
+// newest version are eligible to gate.
+func TestMergeVersionsSchemaDrift(t *testing.T) {
+	tr := &trajectory{series: map[string][]float64{}, latest: map[string]bool{}}
+	mergeVersions(tr, "B.json", []map[string]float64{
+		{"old.seconds": 1, "runs.seconds": 10},
+		{"old.seconds": 2, "runs.seconds": 11},
+		{"runs.seconds": 12, "new.seconds": 5},
+	})
+	finishTrajectory(tr)
+	if got := tr.series["B.json :: runs.seconds"]; len(got) != 3 || got[2] != 12 {
+		t.Errorf("surviving series = %v, want 3 values ending 12", got)
+	}
+	if got := tr.series["B.json :: old.seconds"]; len(got) != 2 {
+		t.Errorf("dropped metric series = %v, want 2 values", got)
+	}
+	if tr.latest["B.json :: old.seconds"] {
+		t.Error("metric absent from the newest version marked latest")
+	}
+	if !tr.latest["B.json :: new.seconds"] || !tr.latest["B.json :: runs.seconds"] {
+		t.Error("newest-version metrics not marked latest")
+	}
+}
+
+func TestLoadSeriesFileFixtures(t *testing.T) {
+	tr, err := loadSeriesFile("testdata/step.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, regressed := watch(tr, gateCfg(), 1, false); !regressed {
+		t.Error("step fixture did not gate")
+	}
+	tr, err = loadSeriesFile("testdata/flat.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report, regressed := watch(tr, gateCfg(), 1, false); regressed {
+		t.Errorf("flat fixture gated:\n%s", report)
+	}
+	if _, err := loadSeriesFile("testdata/nope.json"); err == nil {
+		t.Error("missing series file accepted")
+	}
+}
+
+func TestReportMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v, want 2", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v, want 2.5", m)
+	}
+	xs := []float64{5, 1}
+	if median(xs); xs[0] != 5 {
+		t.Error("median reordered its input")
+	}
+}

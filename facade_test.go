@@ -76,6 +76,10 @@ func TestFacadeDetectors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cpd, err := NewChangePointDetector(DefaultChangePointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// All detector families drive one Pipeline through the common
 	// interface — the tentpole contract, exercised via the façade.
@@ -84,12 +88,13 @@ func TestFacadeDetectors(t *testing.T) {
 		AdaptGPD(gdet), AdaptRegionMonitor(rmon),
 		AdaptBBV(bbv), AdaptWorkingSet(ws),
 		AdaptCPI(tracker), AdaptDPI(MustTracker(t)),
+		AdaptChangePoint(cpd),
 	} {
 		if err := pipe.Register(d); err != nil {
 			t.Fatalf("Register(%s): %v", d.Name(), err)
 		}
 	}
-	wantNames := []string{DetectorGPD, DetectorRegions, DetectorBBV, DetectorWorkingSet, DetectorCPI, DetectorDPI}
+	wantNames := []string{DetectorGPD, DetectorRegions, DetectorBBV, DetectorWorkingSet, DetectorCPI, DetectorDPI, DetectorChange}
 	if len(pipe.Detectors()) != len(wantNames) {
 		t.Fatalf("detectors = %d; want %d", len(pipe.Detectors()), len(wantNames))
 	}
@@ -136,6 +141,22 @@ func TestFacadeDetectors(t *testing.T) {
 	_ = []LocalState{LocalUnstable, LocalLessUnstable, LocalStable}
 	_ = []SimilarityMetric{MetricPearson, MetricManhattan, MetricTopK}
 	_ = []GlobalState{GlobalUnstable, GlobalLessStable, GlobalStable}
+
+	// Offline change-point façade surface: a clean level shift is found.
+	series := make([]float64, 64)
+	for i := range series {
+		series[i] = 1.0
+		if i >= 32 {
+			series[i] = 2.0
+		}
+	}
+	cps, err := DetectChangePoints(series, 7, DefaultChangePointEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 1 || cps[0].Index != 32 {
+		t.Errorf("change points = %+v; want one at index 32", cps)
+	}
 }
 
 // MustTracker builds a PerfTracker or fails the test.

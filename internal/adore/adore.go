@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"regionmon/internal/altdetect"
+	"regionmon/internal/changepoint"
 	"regionmon/internal/gpd"
 	"regionmon/internal/hpm"
 	"regionmon/internal/isa"
@@ -462,6 +463,9 @@ func (r *RTO) onOverflow(ov *hpm.Overflow) {
 		case *altdetect.Verdict:
 			// Comparison-only detectors (BBV, working-set signatures) ride
 			// along for the ablation studies; they drive no control action.
+		case *changepoint.Verdict:
+			// The E-divisive detector likewise rides along for comparison;
+			// the band-based perf tracker remains the control signal.
 		}
 	}
 }

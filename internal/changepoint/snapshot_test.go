@@ -1,0 +1,75 @@
+package changepoint
+
+import (
+	"testing"
+
+	"regionmon/internal/snap"
+)
+
+func TestSnapshotForkEquality(t *testing.T) {
+	const total, at = 360, 170
+	stream := metricStream(total, 120, 1.0, 1.5)
+
+	ref := MustNew(DefaultConfig())
+	forked := MustNew(DefaultConfig())
+	for i := 0; i < at; i++ {
+		ref.Observe(stream[i])
+		forked.Observe(stream[i])
+	}
+	snapBytes := forked.Snapshot()
+
+	restored := MustNew(DefaultConfig())
+	if err := restored.Restore(snapBytes); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	// The restored detector re-snapshots to identical bytes.
+	if string(restored.Snapshot()) != string(snapBytes) {
+		t.Fatal("restored detector snapshots to different bytes")
+	}
+
+	for i := at; i < total; i++ {
+		rv := ref.Observe(stream[i])
+		sv := restored.Observe(stream[i])
+		if rv != sv {
+			t.Fatalf("interval %d: verdict diverged: ref %+v restored %+v", i, rv, sv)
+		}
+	}
+	if ref.Changes() != restored.Changes() || ref.LastChange() != restored.LastChange() ||
+		ref.Intervals() != restored.Intervals() {
+		t.Fatalf("counters diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			ref.Changes(), ref.LastChange(), ref.Intervals(),
+			restored.Changes(), restored.LastChange(), restored.Intervals())
+	}
+}
+
+func TestSnapshotWindowMismatch(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		d.Observe(float64(i))
+	}
+	snapBytes := d.Snapshot()
+
+	cfg := DefaultConfig()
+	cfg.Window = 64
+	other := MustNew(cfg)
+	if err := other.Restore(snapBytes); err == nil {
+		t.Fatal("restore into a differently sized window accepted")
+	}
+	// The failed restore left the target untouched.
+	if other.Intervals() != 0 || other.Changes() != 0 {
+		t.Errorf("failed restore mutated target: %d intervals, %d changes",
+			other.Intervals(), other.Changes())
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	if err := d.Restore([]byte{0, 1, 2}); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	e := snap.NewEncoder()
+	e.Header("other", 1)
+	if err := d.Restore(e.Bytes()); err == nil {
+		t.Error("foreign component tag accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"regionmon/internal/changepoint"
 	"regionmon/internal/gpd"
 	"regionmon/internal/hpm"
 	"regionmon/internal/isa"
@@ -12,8 +13,8 @@ import (
 	"regionmon/internal/region"
 )
 
-// buildStack is the test fleet's per-stream detector stack: GPD plus a
-// CPI tracker, both on defaults.
+// buildStack is the test fleet's per-stream detector stack: GPD, a CPI
+// tracker and the E-divisive change-point detector, all on defaults.
 func buildStack(stream int) (*pipeline.Pipeline, error) {
 	gdet, err := gpd.New(gpd.DefaultConfig())
 	if err != nil {
@@ -23,9 +24,14 @@ func buildStack(stream int) (*pipeline.Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	cpd, err := changepoint.New(changepoint.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	pipe := pipeline.New()
 	pipe.MustRegister(pipeline.NewGPD(gdet))
 	pipe.MustRegister(pipeline.NewCPI(tr))
+	pipe.MustRegister(pipeline.NewChangePoint(cpd))
 	return pipe, nil
 }
 

@@ -9,6 +9,7 @@ package pipeline
 
 import (
 	"regionmon/internal/altdetect"
+	"regionmon/internal/changepoint"
 	"regionmon/internal/gpd"
 	"regionmon/internal/hpm"
 	"regionmon/internal/lpd"
@@ -17,12 +18,13 @@ import (
 
 // Default detector names used by the adapter constructors.
 const (
-	NameGPD        = "gpd"
-	NameRegions    = "regions"
-	NameBBV        = "bbv"
-	NameWorkingSet = "working-set"
-	NameCPI        = "cpi"
-	NameDPI        = "dpi"
+	NameGPD         = "gpd"
+	NameRegions     = "regions"
+	NameBBV         = "bbv"
+	NameWorkingSet  = "working-set"
+	NameCPI         = "cpi"
+	NameDPI         = "dpi"
+	NameChangePoint = "changepoint"
 )
 
 // GPD adapts the centroid-based global detector. Payload: *gpd.Verdict.
@@ -240,5 +242,52 @@ func (p *Perf) ObserveInterval(ov *hpm.Overflow) Verdict {
 		Stable:      !p.last.Changed,
 		PhaseChange: p.last.Changed,
 		Payload:     &p.last,
+	}
+}
+
+// ChangePoint adapts the E-divisive online detector over any scalar
+// per-interval metric (CPI by default). Payload: *changepoint.Verdict.
+// Stable is "no change point confirmed this interval"; a confirmed
+// change point is a phase change in the metric's distribution — the
+// statistically grounded counterpart of the Perf adapter's band check
+// over the same signal.
+//
+//lint:single-owner
+type ChangePoint struct {
+	det    *changepoint.Detector
+	name   string                      //lint:config -- fixed at construction
+	metric func(*hpm.Overflow) float64 //lint:config -- fixed at construction
+	last   changepoint.Verdict
+}
+
+// NewChangePoint wraps det over the interval CPI metric under the
+// default name.
+func NewChangePoint(det *changepoint.Detector) *ChangePoint {
+	return NewNamedChangePoint(NameChangePoint, det, hpm.CPI)
+}
+
+// NewNamedChangePoint wraps det over an arbitrary per-interval metric
+// under an explicit name.
+func NewNamedChangePoint(name string, det *changepoint.Detector, metric func(*hpm.Overflow) float64) *ChangePoint {
+	return &ChangePoint{det: det, name: name, metric: metric}
+}
+
+// Name implements PhaseDetector.
+func (c *ChangePoint) Name() string { return c.name }
+
+// Detector exposes the wrapped change-point detector.
+func (c *ChangePoint) Detector() *changepoint.Detector { return c.det }
+
+// Last returns the most recent verdict (zero before the first interval).
+func (c *ChangePoint) Last() changepoint.Verdict { return c.last }
+
+// ObserveInterval implements PhaseDetector.
+func (c *ChangePoint) ObserveInterval(ov *hpm.Overflow) Verdict {
+	c.last = c.det.Observe(c.metric(ov))
+	return Verdict{
+		Detector:    c.name,
+		Stable:      !c.last.Changed,
+		PhaseChange: c.last.Changed,
+		Payload:     &c.last,
 	}
 }

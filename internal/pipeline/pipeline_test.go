@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"regionmon/internal/altdetect"
+	"regionmon/internal/changepoint"
 	"regionmon/internal/gpd"
 	"regionmon/internal/hpm"
 	"regionmon/internal/isa"
@@ -46,8 +47,9 @@ func spanPCs(span isa.LoopSpan, k int) []isa.Addr {
 	return pcs
 }
 
-// fullPipeline builds a pipeline with all four detector families attached,
-// returning the adapters for inspection.
+// fullPipeline builds a pipeline with all detector families attached
+// (including the E-divisive change-point detector over CPI), returning
+// the principal adapters for inspection.
 func fullPipeline(t testing.TB, prog *isa.Program) (*Pipeline, *GPD, *RegionMonitor, *Alt, *Alt) {
 	t.Helper()
 	return fullPipelineCfg(t, prog, region.DefaultConfig())
@@ -71,12 +73,17 @@ func fullPipelineCfg(t testing.TB, prog *isa.Program, rcfg region.Config) (*Pipe
 	if err != nil {
 		t.Fatal(err)
 	}
+	cpd, err := changepoint.New(changepoint.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	pipe := New()
 	ga := NewGPD(gdet)
 	ra := NewRegionMonitor(rmon)
 	ba := NewBBV(bbv)
 	wa := NewWorkingSet(ws)
-	for _, d := range []PhaseDetector{ga, ra, ba, wa} {
+	ca := NewChangePoint(cpd)
+	for _, d := range []PhaseDetector{ga, ra, ba, wa, ca} {
 		if err := pipe.Register(d); err != nil {
 			t.Fatalf("Register(%s): %v", d.Name(), err)
 		}
@@ -100,8 +107,8 @@ func TestRegisterValidation(t *testing.T) {
 	if pipe.Detector(NameGPD) == nil || pipe.Detector("nope") != nil {
 		t.Error("Detector lookup broken")
 	}
-	if len(pipe.Detectors()) != 4 {
-		t.Errorf("detectors = %d; want 4", len(pipe.Detectors()))
+	if len(pipe.Detectors()) != 5 {
+		t.Errorf("detectors = %d; want 5", len(pipe.Detectors()))
 	}
 }
 
@@ -112,11 +119,11 @@ func TestFanOutMergesAllDetectors(t *testing.T) {
 	var observed int
 	pipe.AddObserver(func(rep *IntervalReport) {
 		observed++
-		if len(rep.Verdicts) != 4 {
-			t.Fatalf("verdicts = %d; want 4", len(rep.Verdicts))
+		if len(rep.Verdicts) != 5 {
+			t.Fatalf("verdicts = %d; want 5", len(rep.Verdicts))
 		}
 		// Registration order preserved.
-		wantOrder := []string{NameGPD, NameRegions, NameBBV, NameWorkingSet}
+		wantOrder := []string{NameGPD, NameRegions, NameBBV, NameWorkingSet, NameChangePoint}
 		for i, w := range wantOrder {
 			if rep.Verdicts[i].Detector != w {
 				t.Fatalf("verdict %d from %q; want %q", i, rep.Verdicts[i].Detector, w)
@@ -182,6 +189,9 @@ func TestVerdictPayloads(t *testing.T) {
 	}
 	if _, ok := rep.Verdict(NameBBV).Payload.(*altdetect.Verdict); !ok {
 		t.Errorf("bbv payload %T; want *altdetect.Verdict", rep.Verdict(NameBBV).Payload)
+	}
+	if _, ok := rep.Verdict(NameChangePoint).Payload.(*changepoint.Verdict); !ok {
+		t.Errorf("changepoint payload %T; want *changepoint.Verdict", rep.Verdict(NameChangePoint).Payload)
 	}
 }
 

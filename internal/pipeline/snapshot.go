@@ -105,10 +105,11 @@ func (p *Pipeline) Restore(data []byte) error {
 // indistinguishable from the uninterrupted one from the next interval on.
 
 const (
-	gpdAdapterTag  = "a-gpd"
-	rmonAdapterTag = "a-regions"
-	altAdapterTag  = "a-alt"
-	perfAdapterTag = "a-perf"
+	gpdAdapterTag   = "a-gpd"
+	rmonAdapterTag  = "a-regions"
+	altAdapterTag   = "a-alt"
+	perfAdapterTag  = "a-perf"
+	chgptAdapterTag = "a-chgpt"
 )
 
 // AppendSnapshot implements Snapshotter.
@@ -230,12 +231,41 @@ func (p *Perf) RestoreSnapshot(d *snap.Decoder) error {
 	return d.Err()
 }
 
+// AppendSnapshot implements Snapshotter.
+func (c *ChangePoint) AppendSnapshot(e *snap.Encoder) error {
+	e.Header(chgptAdapterTag, 1)
+	c.det.AppendSnapshot(e)
+	e.F64(c.last.Value)
+	e.Bool(c.last.Evaluated)
+	e.Bool(c.last.Changed)
+	e.I64(c.last.ChangeAt)
+	e.F64(c.last.Stat)
+	e.F64(c.last.PValue)
+	return nil
+}
+
+// RestoreSnapshot implements Snapshotter.
+func (c *ChangePoint) RestoreSnapshot(d *snap.Decoder) error {
+	d.Header(chgptAdapterTag, 1)
+	if err := c.det.RestoreSnapshot(d); err != nil {
+		return err
+	}
+	c.last.Value = d.F64()
+	c.last.Evaluated = d.Bool()
+	c.last.Changed = d.Bool()
+	c.last.ChangeAt = d.I64()
+	c.last.Stat = d.F64()
+	c.last.PValue = d.F64()
+	return d.Err()
+}
+
 // Interface conformance for every built-in adapter.
 var (
 	_ Snapshotter    = (*GPD)(nil)
 	_ Snapshotter    = (*RegionMonitor)(nil)
 	_ Snapshotter    = (*Alt)(nil)
 	_ Snapshotter    = (*Perf)(nil)
+	_ Snapshotter    = (*ChangePoint)(nil)
 	_ altSnapshotter = (*altdetect.BBV)(nil)
 	_ altSnapshotter = (*altdetect.WorkingSet)(nil)
 )

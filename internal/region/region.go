@@ -321,6 +321,7 @@ type Monitor struct {
 	stabPC         isa.Addr        //lint:config -- current sample PC for stabVisit
 	stabHit        bool            //lint:config -- current sample landed in a region
 	stabVisit      func(id int)    //lint:config -- distribution callback (built once)
+	medScratch     []float64       //lint:config -- UCRMedian sort scratch
 }
 
 // NewMonitor returns a monitor for prog.
@@ -416,8 +417,15 @@ func (m *Monitor) UCRHistory() []float64 { return m.ucr.Values(nil) }
 func (m *Monitor) UCRDropped() int64 { return m.ucr.Dropped() }
 
 // UCRMedian returns the median per-interval UCR fraction over the
-// retained history — the Figure 6 per-benchmark quantity.
-func (m *Monitor) UCRMedian() float64 { return m.ucr.Median() }
+// retained history — the Figure 6 per-benchmark quantity. The sort
+// scratch is reused across calls, so periodic reporting does not
+// allocate once the history has filled.
+func (m *Monitor) UCRMedian() float64 {
+	if n := m.ucr.Len(); cap(m.medScratch) < n {
+		m.medScratch = make([]float64, 0, n)
+	}
+	return m.ucr.MedianInto(m.medScratch)
+}
 
 // AddRegion manually registers a region over [start, end) (used for
 // non-loop spans in tests and by controllers with prior knowledge).

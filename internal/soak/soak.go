@@ -17,6 +17,7 @@ import (
 	"runtime"
 
 	"regionmon/internal/altdetect"
+	"regionmon/internal/changepoint"
 	"regionmon/internal/gpd"
 	"regionmon/internal/hpm"
 	"regionmon/internal/isa"
@@ -200,8 +201,9 @@ func BuildProgram() (*isa.Program, []isa.LoopSpan, error) {
 
 // NewStack builds one full monitoring stack over prog: pipeline with
 // GPD, region monitor (bounded UCR history — the default), BBV, working
-// set and a CPI tracker. Every component uses its default configuration
-// so a soak exercises exactly what users get.
+// set, a CPI tracker and the E-divisive change-point detector (over the
+// same CPI signal). Every component uses its default configuration so a
+// soak exercises exactly what users get.
 func NewStack(prog *isa.Program) (*pipeline.Pipeline, error) {
 	gdet, err := gpd.New(gpd.DefaultConfig())
 	if err != nil {
@@ -223,6 +225,10 @@ func NewStack(prog *isa.Program) (*pipeline.Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	cpd, err := changepoint.New(changepoint.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	pipe := pipeline.New()
 	for _, d := range []pipeline.PhaseDetector{
 		pipeline.NewGPD(gdet),
@@ -230,6 +236,7 @@ func NewStack(prog *isa.Program) (*pipeline.Pipeline, error) {
 		pipeline.NewBBV(bbv),
 		pipeline.NewWorkingSet(ws),
 		pipeline.NewCPI(tr),
+		pipeline.NewChangePoint(cpd),
 	} {
 		if err := pipe.Register(d); err != nil {
 			return nil, err

@@ -140,14 +140,27 @@ func (s *Series) Mean() float64 {
 }
 
 // Median returns the median of the retained observations (0 when empty).
-// It copies and sorts, so it is a cold-path query — reporting and
-// experiment summaries, not the per-interval monitoring path.
+// It lets MedianInto grow a fresh scratch slice per call; periodic
+// reporting loops should hold a scratch buffer and use MedianInto.
+// Convenience wrapper over MedianInto.
+//
+//lint:wraps MedianInto
 func (s *Series) Median() float64 {
+	return s.MedianInto(nil)
+}
+
+// MedianInto returns the median of the retained observations (0 when
+// empty), using scratch as working storage: the values are copied into
+// scratch (growing it only if its capacity is short) and sorted there.
+// The series itself is never reordered. A caller that reuses one scratch
+// buffer across calls computes medians allocation-free, making repeated
+// median reporting safe alongside the monitoring path.
+func (s *Series) MedianInto(scratch []float64) float64 {
 	n := s.Len()
 	if n == 0 {
 		return 0
 	}
-	c := s.Values(make([]float64, 0, n))
+	c := s.Values(scratch[:0])
 	sort.Float64s(c)
 	if n%2 == 1 {
 		return c[n/2]

@@ -70,6 +70,110 @@ func TestSeriesOddMedian(t *testing.T) {
 	}
 }
 
+// TestSeriesMedianInto pins the scratch-reusing median: same result as
+// Median, no reordering of the series, and zero allocations once the
+// scratch capacity covers the window.
+func TestSeriesMedianInto(t *testing.T) {
+	s := NewSeries(8)
+	for _, x := range []float64{9, 2, 7, 4, 1, 8, 3, 6, 5, 0} {
+		s.Append(x)
+	}
+	scratch := make([]float64, 0, s.Cap())
+	if got, want := s.MedianInto(scratch), s.Median(); got != want {
+		t.Fatalf("MedianInto = %v, Median = %v", got, want)
+	}
+	// The series itself is untouched by the sort.
+	want := []float64{7, 4, 1, 8, 3, 6, 5, 0}
+	for i, w := range want {
+		if s.At(i) != w {
+			t.Fatalf("At(%d) = %v after MedianInto, want %v", i, s.At(i), w)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.MedianInto(scratch)
+	}); allocs != 0 {
+		t.Errorf("MedianInto allocates %v per op with ample scratch, want 0", allocs)
+	}
+	// Short scratch still yields the right answer (growing internally).
+	if got, want := s.MedianInto(make([]float64, 0, 1)), s.Median(); got != want {
+		t.Errorf("MedianInto with short scratch = %v, want %v", got, want)
+	}
+	if got := s.MedianInto(nil); got != s.Median() {
+		t.Errorf("MedianInto(nil) = %v, want %v", got, s.Median())
+	}
+	if got := NewSeries(4).MedianInto(scratch); got != 0 {
+		t.Errorf("empty series MedianInto = %v, want 0", got)
+	}
+}
+
+// TestSeriesWrapOrdering walks the ring across several full wraps,
+// checking At and Values keep exact oldest-first order at every step —
+// including the boundary appends where head returns to slot 0.
+func TestSeriesWrapOrdering(t *testing.T) {
+	const capacity = 5
+	s := NewSeries(capacity)
+	for i := 1; i <= 4*capacity+3; i++ {
+		s.Append(float64(i))
+		n := s.Len()
+		lo := i - n + 1 // oldest retained value
+		for j := 0; j < n; j++ {
+			if got, want := s.At(j), float64(lo+j); got != want {
+				t.Fatalf("after %d appends: At(%d) = %v, want %v", i, j, got, want)
+			}
+		}
+		vals := s.Values(nil)
+		if len(vals) != n {
+			t.Fatalf("after %d appends: Values len %d, want %d", i, len(vals), n)
+		}
+		for j, v := range vals {
+			if want := float64(lo + j); v != want {
+				t.Fatalf("after %d appends: Values[%d] = %v, want %v", i, j, v, want)
+			}
+		}
+	}
+}
+
+// TestSeriesSnapshotAtWrapBoundary snapshots a ring at every head
+// position across a wrap (including head == 0 exactly) and checks the
+// restored ring re-snapshots bit-exact and continues identically.
+func TestSeriesSnapshotAtWrapBoundary(t *testing.T) {
+	const capacity = 4
+	for appends := capacity - 1; appends <= 3*capacity+1; appends++ {
+		s := NewSeries(capacity)
+		for i := 0; i < appends; i++ {
+			s.Append(float64(i) * 1.5)
+		}
+		e := snap.NewEncoder()
+		s.AppendSnapshot(e)
+
+		r := NewSeries(capacity)
+		if err := r.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+			t.Fatalf("appends=%d: RestoreSnapshot: %v", appends, err)
+		}
+		e2 := snap.NewEncoder()
+		r.AppendSnapshot(e2)
+		if string(e.Bytes()) != string(e2.Bytes()) {
+			t.Fatalf("appends=%d: restored series re-snapshots to different bytes", appends)
+		}
+		// Continue both across another full wrap: identical values and
+		// accounting at every step.
+		for i := 0; i < capacity+1; i++ {
+			x := float64(100 + i)
+			s.Append(x)
+			r.Append(x)
+			sv, rv := s.Values(nil), r.Values(nil)
+			for j := range sv {
+				if sv[j] != rv[j] {
+					t.Fatalf("appends=%d step %d: post-restore divergence: %v vs %v", appends, i, sv, rv)
+				}
+			}
+			if s.Total() != r.Total() || s.Mean() != r.Mean() {
+				t.Fatalf("appends=%d step %d: accounting diverged", appends, i)
+			}
+		}
+	}
+}
+
 func TestSeriesReset(t *testing.T) {
 	s := NewSeries(3)
 	for i := 0; i < 7; i++ {

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"regionmon/internal/altdetect"
+	"regionmon/internal/changepoint"
 	"regionmon/internal/gpd"
 	"regionmon/internal/pipeline"
 	"regionmon/internal/region"
@@ -28,20 +29,36 @@ const (
 )
 
 // Digest is an incremental FNV-1a over a verdict stream. The zero value
-// is not ready; construct with New or Resume.
-type Digest struct{ h uint64 }
+// is an empty digest, equivalent to New(): the FNV offset basis is
+// applied lazily on the first fold, so a zero-value Digest hashes
+// identically to a constructed one rather than silently folding from
+// basis 0.
+type Digest struct {
+	h      uint64
+	seeded bool
+}
 
 // New returns an empty digest (FNV-1a offset basis).
-func New() *Digest { return &Digest{h: offset64} }
+func New() *Digest { return &Digest{h: offset64, seeded: true} }
 
 // Resume returns a digest continuing from a previously captured Sum, for
 // restoring a checkpointed stream consumer.
-func Resume(sum uint64) *Digest { return &Digest{h: sum} }
+func Resume(sum uint64) *Digest { return &Digest{h: sum, seeded: true} }
 
 // Sum returns the current digest value.
-func (d *Digest) Sum() uint64 { return d.h }
+func (d *Digest) Sum() uint64 {
+	if !d.seeded {
+		return offset64
+	}
+	return d.h
+}
 
-func (d *Digest) byte(b byte) { d.h = (d.h ^ uint64(b)) * prime64 }
+func (d *Digest) byte(b byte) {
+	if !d.seeded {
+		d.h, d.seeded = offset64, true
+	}
+	d.h = (d.h ^ uint64(b)) * prime64
+}
 
 // Bool folds one bool into the digest.
 func (d *Digest) Bool(v bool) {
@@ -108,6 +125,13 @@ func (d *Digest) Report(rep *pipeline.IntervalReport) error {
 			d.F64(p.SD)
 			d.F64(p.Delta)
 			d.Bool(p.Changed)
+		case *changepoint.Verdict:
+			d.F64(p.Value)
+			d.Bool(p.Evaluated)
+			d.Bool(p.Changed)
+			d.U64(uint64(p.ChangeAt))
+			d.F64(p.Stat)
+			d.F64(p.PValue)
 		default:
 			return fmt.Errorf("vhash: unknown verdict payload %T from detector %q", v.Payload, v.Detector)
 		}

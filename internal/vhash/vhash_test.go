@@ -69,6 +69,35 @@ func TestDigestDeterministic(t *testing.T) {
 	}
 }
 
+// TestZeroValueEquivalentToNew pins the lazy-basis fix: a zero-value
+// Digest must hash identically to a New() one. Before the fix the zero
+// value folded from basis 0, silently producing digests that could never
+// match a constructed consumer's.
+func TestZeroValueEquivalentToNew(t *testing.T) {
+	var zero Digest
+	if zero.Sum() != New().Sum() {
+		t.Fatalf("empty zero-value sum %#x != New() sum %#x", zero.Sum(), New().Sum())
+	}
+	fresh := New()
+	for _, d := range []*Digest{&zero, fresh} {
+		d.Int(7)
+		d.F64(2.25)
+		d.Bool(true)
+		d.Str("gpd")
+	}
+	if zero.Sum() != fresh.Sum() {
+		t.Fatalf("zero-value digest %#x != New() digest %#x over the same stream", zero.Sum(), fresh.Sum())
+	}
+	// And a resumed continuation of the zero-value digest carries on
+	// identically.
+	cont := Resume(zero.Sum())
+	fresh.U64(42)
+	cont.U64(42)
+	if cont.Sum() != fresh.Sum() {
+		t.Fatalf("resumed zero-value digest diverged: %#x vs %#x", cont.Sum(), fresh.Sum())
+	}
+}
+
 // TestResumeContinuity: splitting a stream across Sum/Resume produces the
 // same digest as hashing it in one piece — the property fleet checkpoint
 // fidelity rests on.

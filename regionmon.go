@@ -25,6 +25,7 @@ package regionmon
 import (
 	"regionmon/internal/adore"
 	"regionmon/internal/altdetect"
+	"regionmon/internal/changepoint"
 	"regionmon/internal/gpd"
 	"regionmon/internal/hpm"
 	"regionmon/internal/isa"
@@ -267,6 +268,9 @@ type (
 	AltAdapter = pipeline.Alt
 	// PerfAdapter presents a PerfTracker as a PhaseDetector.
 	PerfAdapter = pipeline.Perf
+	// ChangePointAdapter presents a ChangePointDetector as a
+	// PhaseDetector.
+	ChangePointAdapter = pipeline.ChangePoint
 	// Snapshotter is implemented by detectors that support the
 	// checkpoint/resume protocol (every built-in adapter does); a
 	// Pipeline or System snapshots only if all its detectors do.
@@ -281,6 +285,7 @@ const (
 	DetectorWorkingSet = pipeline.NameWorkingSet
 	DetectorCPI        = pipeline.NameCPI
 	DetectorDPI        = pipeline.NameDPI
+	DetectorChange     = pipeline.NameChangePoint
 )
 
 // NewPipeline returns an empty detector pipeline.
@@ -311,6 +316,49 @@ func AdaptCPI(tr *PerfTracker) *PerfAdapter { return pipeline.NewCPI(tr) }
 // AdaptDPI presents tr as a pipeline PhaseDetector over the interval DPI
 // metric, named DetectorDPI.
 func AdaptDPI(tr *PerfTracker) *PerfAdapter { return pipeline.NewDPI(tr) }
+
+// E-divisive change-point detection (internal/changepoint): the
+// statistically grounded counterpart of the PerfTracker band check, and
+// the engine behind cmd/benchwatch's perf-regression gate.
+type (
+	// ChangePointDetector is the online windowed E-divisive detector.
+	ChangePointDetector = changepoint.Detector
+	// ChangePointConfig parameterizes a ChangePointDetector.
+	ChangePointConfig = changepoint.Config
+	// ChangePointVerdict is one ChangePointDetector observation outcome.
+	ChangePointVerdict = changepoint.Verdict
+	// ChangePointEngineConfig parameterizes the offline engine
+	// (permutations, alpha, minimum segment).
+	ChangePointEngineConfig = changepoint.EngineConfig
+	// ChangePoint is one detected distributional shift in a series.
+	ChangePoint = changepoint.ChangePoint
+)
+
+// DefaultChangePointConfig returns the online detector defaults.
+func DefaultChangePointConfig() ChangePointConfig { return changepoint.DefaultConfig() }
+
+// DefaultChangePointEngineConfig returns the offline engine defaults.
+func DefaultChangePointEngineConfig() ChangePointEngineConfig {
+	return changepoint.DefaultEngineConfig()
+}
+
+// NewChangePointDetector returns an online windowed E-divisive detector.
+func NewChangePointDetector(cfg ChangePointConfig) (*ChangePointDetector, error) {
+	return changepoint.New(cfg)
+}
+
+// AdaptChangePoint presents det as a pipeline PhaseDetector over the
+// interval CPI metric, named DetectorChange.
+func AdaptChangePoint(det *ChangePointDetector) *ChangePointAdapter {
+	return pipeline.NewChangePoint(det)
+}
+
+// DetectChangePoints runs the offline E-divisive engine over a series,
+// returning every significant change point in ascending index order.
+// Identical (xs, seed, cfg) inputs always yield identical output.
+func DetectChangePoints(xs []float64, seed uint64, cfg ChangePointEngineConfig) ([]ChangePoint, error) {
+	return changepoint.Detect(xs, seed, cfg)
+}
 
 // Runtime optimization (internal/adore).
 type (
